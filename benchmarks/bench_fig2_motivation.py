@@ -1,0 +1,67 @@
+"""Figure 2 — motivation characterization benches.
+
+Paper claims reproduced here:
+* 2a: kernel objects are a major share of every workload's footprint.
+* 2b: the kernel share persists when inputs shrink from 40GB to 10GB.
+* 2c: reference split bands — Filebench ~86% in-kernel, RocksDB ~54%,
+  Redis ~38%, Cassandra the least kernel-bound.
+* 2d: lifetime ordering — slab objects << page-cache pages << app pages,
+  separated by orders of magnitude (paper: 36ms / 160ms / tens of min).
+"""
+
+from repro.experiments.fig2 import (
+    run_fig2a_footprint,
+    run_fig2b_scaling,
+    run_fig2d_lifetimes,
+)
+
+
+def test_fig2a(once):
+    report = once(run_fig2a_footprint)
+    print("\n" + report.format_report())
+    by_name = {r.workload: r for r in report.rows}
+    assert set(by_name) == {"rocksdb", "redis", "filebench", "cassandra", "spark"}
+    for row in report.rows:
+        # Kernel objects are plentiful for every I/O-intensive workload.
+        assert row.footprint.kernel_fraction() > 0.25, row.workload
+    # Page cache dominates RocksDB's kernel allocations (§3.1).
+    rocks = by_name["rocksdb"].footprint.breakdown()
+    assert rocks["page_cache"] == max(
+        v for k, v in rocks.items() if k != "app"
+    )
+    # Redis needs a mix that includes socket buffers (§3.1).
+    assert by_name["redis"].footprint.breakdown()["sockbuf"] > 0.02
+
+
+def test_fig2b(once):
+    report = once(run_fig2b_scaling)
+    print("\n" + report.format_report())
+    for workload, fracs in report.scaling.items():
+        # "Kernel objects continue to use a significant fraction of the
+        # total pages" at the small input size too.
+        assert fracs["small"] > 0.2, workload
+        assert abs(fracs["small"] - fracs["large"]) < 0.3, workload
+
+
+def test_fig2c(once):
+    report = once(run_fig2a_footprint)
+    print("\n" + report.format_report())
+    frac = {
+        r.workload: r.references.kernel_fraction() for r in report.rows
+    }
+    assert frac["filebench"] > 0.75  # paper: 86% of time in the OS
+    assert 0.35 < frac["rocksdb"] < 0.70  # paper band: 54%
+    assert 0.25 < frac["redis"] < 0.55  # paper band: 38%
+    assert frac["cassandra"] < frac["redis"]  # the app cache absorbs I/O
+    assert frac["filebench"] > frac["rocksdb"] > frac["cassandra"]
+
+
+def test_fig2d(once):
+    report = once(run_fig2d_lifetimes)
+    print("\n" + report.format_report())
+    for row in report.rows:
+        life = row.lifetimes
+        assert life.ordering_holds(), row.workload
+        # Orders of magnitude apart, as in the paper's log-scale figure.
+        assert life.app_mean_ns > 5 * life.slab_mean_ns, row.workload
+        assert life.page_cache_mean_ns > life.slab_mean_ns, row.workload

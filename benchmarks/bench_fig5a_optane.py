@@ -1,0 +1,27 @@
+"""Figure 5a — Optane Memory Mode under interference.
+
+Expected shape (speedups vs the all-remote worst case):
+
+* The all-local ideal is the ceiling (paper: 1.6x).
+* KLOCs lands close to the ideal and clearly above vanilla AutoNUMA
+  (paper: ~1.5x over AutoNUMA) and above Nimble (paper: ~1.4x), because
+  only KLOCs migrates the kernel objects stranded on the contended
+  socket.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5a_optane
+
+
+def test_fig5a(once):
+    report = once(run_fig5a_optane)
+    print("\n" + report.format_report())
+    for workload, s in report.speedups.items():
+        assert s["all_remote"] == pytest.approx(1.0)
+        assert s["autonuma"] > 1.0, workload
+        assert s["klocs"] > s["autonuma"], workload
+        assert s["klocs"] >= s["nimble"], workload
+        # KLOCs approaches (or reaches, with the demux win) the ideal.
+        assert s["klocs"] > 0.8 * s["all_local"], workload
+        assert s["autonuma"] < s["all_local"], workload

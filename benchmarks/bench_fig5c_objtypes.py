@@ -1,0 +1,27 @@
+"""Figure 5c — contribution of kernel object types to KLOC performance.
+
+Expected shape: starting from app-only tiering (kernel objects pinned in
+fast memory), adding page-cache coverage helps the filesystem-heavy
+workload most; Redis needs the socket-buffer/slab groups; full coverage
+is where each workload's best configuration lives (§7.3: "a truly robust
+KLOC abstraction must include as many kernel object types as possible").
+"""
+
+from repro.experiments.fig5 import run_fig5c_objtypes
+
+
+def test_fig5c(once):
+    report = once(run_fig5c_objtypes)
+    print("\n" + report.format_report())
+    rocks = report.speedups["rocksdb"]
+    redis = report.speedups["redis"]
+
+    # RocksDB: page-cache coverage is the big step (Fig 2a: page cache
+    # dominates its allocations).
+    assert rocks["page_cache"] > rocks["none"] * 1.03
+    # Redis: the network-side groups contribute measurably.
+    assert redis["block_io"] > redis["none"] * 1.05
+    assert redis["sockbuf"] >= redis["journal"] * 0.97
+    # Full coverage never collapses below app-only for either workload.
+    assert rocks["block_io"] > 0.97
+    assert redis["block_io"] > 0.97

@@ -1,0 +1,37 @@
+"""§3.3 — the LRU scan-rate measurement.
+
+"We measure the time taken to scan one million pages on our Intel Xeon
+platform as 2 seconds" — the structural constant that makes scan-based
+kernel-object tiering too slow (kernel object lifetimes are 36-160ms).
+The engine's modeled cost function must reproduce that rate, and the
+lifetime/scan relationship must hold in the simulator's compressed time.
+"""
+
+from repro.core.config import LRUSpec, two_tier_platform_spec
+from repro.core.units import MB, SEC
+from repro.kernel.kernel import Kernel
+from repro.policies import NimblePlusPlusPolicy
+from repro.policies.lru_engine import LRUScanEngine
+
+
+def test_lru_scan_rate(once):
+    spec = two_tier_platform_spec(fast_capacity_bytes=4 * MB)
+    kernel = Kernel(spec, NimblePlusPlusPolicy(), seed=1)
+    # Paper-scale spec: 500K pages/sec.
+    engine = LRUScanEngine(kernel, spec=LRUSpec())
+
+    cost = once(engine.scan_cost_ns, 1_000_000)
+    print(f"\nscan of 1M pages: {cost / SEC:.2f}s (paper: ~2s)")
+    assert 1.8 * SEC <= cost <= 2.2 * SEC
+
+
+def test_scan_latency_exceeds_kernel_lifetimes(benchmark):
+    """The compressed-time configs preserve §3.3's inequality: detection
+    latency (period x cold rounds) >> slab lifetimes, < app lifetimes."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    spec = two_tier_platform_spec(fast_capacity_bytes=4 * MB)
+    detection_ns = spec.lru.scan_period_ns * spec.lru.cold_age_rounds
+    # Simulated slab objects live well under one detection window (the
+    # workloads' slab ledgers confirm; here we assert the configuration).
+    assert detection_ns >= 4 * spec.kloc.migrate_period_ns
+    assert detection_ns >= 8 * spec.writeback_period_ns

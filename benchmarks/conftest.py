@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one of the paper's tables/figures and asserts its
+*shape* (strategy ordering, ratio bands, crossovers) rather than absolute
+numbers — the simulator is a scaled substrate, not the authors' testbed.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Set REPRO_QUICK=1 for a ~4x faster pass with looser statistics.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing.
+
+    Experiment runs are long (seconds) and deterministic, so one round is
+    both sufficient and necessary — repeated rounds would re-run multi-
+    minute sweeps for no statistical gain.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _runner

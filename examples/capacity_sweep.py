@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Custom sensitivity study with the sweep API (a DIY Figure 6).
+
+Sweeps fast-memory capacity for KLOCs vs Nimble++ on RocksDB, prints the
+table, renders a terminal chart of the speedups, and writes a CSV for
+offline plotting — the workflow a downstream study would use for
+questions the paper's own sweep doesn't answer.
+
+Run:  python examples/capacity_sweep.py [ops]
+"""
+
+import sys
+
+from repro.analysis.sweep import run_sweep
+from repro.core.units import GB
+from repro.metrics.chart import grouped_bar_chart
+
+CAPACITIES_GB = (2, 8, 16)
+POLICIES = ("all_slow", "nimble++", "klocs")
+
+
+def main() -> None:
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+    print(f"sweeping fast capacity {CAPACITIES_GB} GB x {POLICIES} "
+          f"({ops} ops per run) ...\n")
+    sweep = run_sweep(
+        workloads=["rocksdb"],
+        policies=list(POLICIES),
+        grid={"fast_bytes_paper": [c * GB for c in CAPACITIES_GB]},
+        ops=ops,
+    )
+    print(sweep.format_report())
+
+    groups = {}
+    for capacity in CAPACITIES_GB:
+        series = {}
+        for policy in POLICIES[1:]:
+            row = next(
+                r
+                for r in sweep.filter(policy=policy)
+                if r.params["fast_bytes_paper"] == capacity * GB
+            )
+            series[policy] = sweep.speedup(row, "all_slow")
+        groups[f"{capacity}GB fast"] = series
+    print()
+    print(grouped_bar_chart(
+        groups, title="speedup vs all-slow, by fast capacity", unit="x"
+    ))
+
+    path = sweep.to_csv("results/capacity_sweep.csv")
+    print(f"\nwrote {path} ({len(sweep.rows)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Drive the KLOC lifecycle by hand, syscall by syscall.
+
+Walks Figure 3(b)'s flow — create, write, fsync, close, reopen, unlink —
+on a single file and one socket, printing the knode's state and its
+objects' placement at each step. This is the clearest way to see the
+abstraction: kernel objects appear in the knode's two red-black trees as
+syscalls create them, turn cold at close, migrate en masse, and vanish
+(not migrate!) at unlink.
+
+Run:  python examples/kloc_lifecycle.py
+"""
+
+from collections import Counter
+
+from repro.core.units import KB
+from repro.kernel.syscalls import SyscallInterface
+from repro.platforms.twotier import build_two_tier_kernel
+
+
+def describe(kernel, inode, label):
+    manager = kernel.kloc_manager
+    knode = manager.knode_for_inode(inode) if inode.knode_id else None
+    if knode is None:
+        print(f"[{label}] no knode (deleted)")
+        return
+    tiers = Counter(f.tier_name for f in knode.frames())
+    print(
+        f"[{label}] knode #{knode.knode_id}: "
+        f"{len(knode.rbtree_cache)} cache-tree objs, "
+        f"{len(knode.rbtree_slab)} slab-tree objs, "
+        f"inuse={knode.inuse}, frames by tier={dict(tiers)}"
+    )
+
+
+def main() -> None:
+    kernel, _policy = build_two_tier_kernel("klocs", scale_factor=2048)
+    # Keep the daemon eager so the demo shows migration immediately.
+    kernel.kloc_daemon.free_target_frac = 1.0
+    sys = SyscallInterface(kernel)
+
+    print("== create + write: objects accumulate in the knode, fast-first ==")
+    fh = sys.creat("/demo/data")
+    describe(kernel, fh.inode, "after create")
+    sys.write(fh, 0, 64 * KB)
+    sys.fsync(fh)
+    describe(kernel, fh.inode, "after 64KB write + fsync")
+
+    print("\n== close: definitely cold → marked, daemon downgrades en masse ==")
+    inode = fh.inode
+    sys.close(fh)
+    describe(kernel, inode, "after close (pre-daemon)")
+    kernel.kloc_daemon.run()
+    describe(kernel, inode, "after daemon pass")
+
+    print("\n== reopen + read: hot again, objects pulled back on demand ==")
+    fh = sys.open("/demo/data")
+    sys.read(fh, 0, 16 * KB)
+    kernel.kloc_daemon.run()
+    describe(kernel, fh.inode, "after reopen + read")
+
+    print("\n== unlink: objects are FREED, never migrated (§3.2) ==")
+    down_before = kernel.kloc_daemon.downgraded_pages
+    sys.close(fh)
+    sys.unlink("/demo/data")
+    print(f"knode deleted; extra downgrades during unlink: "
+          f"{kernel.kloc_daemon.downgraded_pages - down_before}")
+
+    print("\n== sockets are files too: a socket gets the same treatment ==")
+    sock = sys.socket(6379)
+    kernel.net.deliver(6379, 6000)
+    sys.recv(sock)
+    sys.send(sock, 2000)
+    describe(kernel, sock.inode, "active socket")
+    sys.close_socket(sock)
+    print("socket closed: its knode was deleted with its inode")
+
+    kernel.topology.check_invariants()
+    print("\ntopology invariants hold — no leaked pages.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The Fig 5a experiment as a story: interference on an Optane system.
+
+A Redis-style workload runs on socket 0 of a two-socket Optane Memory
+Mode machine. A streaming co-runner then hammers socket 0's memory
+bandwidth and the scheduler moves the task to socket 1. Watch what each
+policy does with the data left behind — AutoNUMA rescues application
+pages only; KLOCs also brings the kernel objects (socket buffers, page
+cache, inodes) home.
+
+Run:  python examples/optane_interference.py
+"""
+
+from repro.experiments.runner import make_workload
+from repro.metrics.report import format_table
+from repro.platforms.optane import build_optane_kernel
+from repro.workloads.interference import StreamingInterferer
+
+WARMUP_OPS = 4000
+MEASURED_OPS = 8000
+
+
+def run_policy(policy: str) -> dict:
+    kernel, pol = build_optane_kernel(policy, scale_factor=1024)
+    workload = make_workload(kernel, "redis")
+    workload.setup()
+    workload.run(WARMUP_OPS)
+
+    interferer = StreamingInterferer(kernel, "node0", streams=3)
+    interferer.start()
+    kernel.set_task_node(1)
+
+    result = workload.run(MEASURED_OPS)
+    node1 = kernel.topology.tier("node1")
+    stats = {
+        "throughput": result.throughput_ops_per_sec,
+        "app_moved": getattr(pol, "migrated_app", 0),
+        "kernel_moved": getattr(pol, "migrated_kernel", 0),
+        "resident_on_home_node": node1.used_pages,
+    }
+    interferer.stop()
+    workload.teardown()
+    return stats
+
+
+def main() -> None:
+    policies = ["all_remote", "autonuma", "nimble", "klocs", "all_local"]
+    results = {}
+    for policy in policies:
+        print(f"running {policy} ...")
+        results[policy] = run_policy(policy)
+
+    base = results["all_remote"]["throughput"]
+    print()
+    print(format_table(
+        ["policy", "speedup vs all-remote", "app pages moved",
+         "kernel pages moved", "pages on home node"],
+        [
+            [
+                p,
+                s["throughput"] / base,
+                s["app_moved"],
+                s["kernel_moved"],
+                s["resident_on_home_node"],
+            ]
+            for p, s in results.items()
+        ],
+        title="Optane Memory Mode under interference (Fig 5a)",
+    ))
+    print(
+        "\nThe paper's reading: AutoNUMA strands kernel objects on the"
+        "\ncontended socket; KLOCs migrates them too and approaches the"
+        "\nall-local ideal (their 1.6x)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Developer tuning harness: compare policies on one workload quickly.
+
+Prints, per policy, the throughput, host time, fast-tier occupancy and
+reference fraction, and migration counts — the view used to calibrate
+the workload models against the paper's Figure 4 shape.
+
+Usage: python scripts/tune.py [workload] [ops] [scale]
+"""
+
+import sys
+import time
+
+from repro.core.config import two_tier_platform_spec
+from repro.core.units import GB
+from repro.kernel.kernel import Kernel
+from repro.policies import TWO_TIER_POLICIES
+from repro.workloads import WORKLOADS
+
+
+def main() -> None:
+    wname = sys.argv[1] if len(sys.argv) > 1 else "rocksdb"
+    ops = int(sys.argv[2]) if len(sys.argv) > 2 else 20000
+    scale = int(sys.argv[3]) if len(sys.argv) > 3 else 1024
+    fast_bytes = 8 * GB // scale
+    slow_bytes = 80 * GB // scale
+
+    results = {}
+    for pname, policy_cls in TWO_TIER_POLICIES.items():
+        fast = slow_bytes if pname == "all_fast" else fast_bytes
+        spec = two_tier_platform_spec(
+            fast_capacity_bytes=fast, slow_capacity_bytes=slow_bytes, bandwidth_ratio=8
+        )
+        kernel = Kernel(spec, policy_cls(), seed=7)
+        kernel.start()
+        wl_cls = WORKLOADS[wname]
+        workload = wl_cls(kernel, _config_for(wl_cls, kernel, scale))
+        t0 = time.time()
+        workload.setup()
+        kernel.reset_reference_counters()
+        res = workload.run(ops)
+        results[pname] = res.throughput_ops_per_sec
+        ft = kernel.topology.tier("fast")
+        print(
+            f"{pname:18s} tput={res.throughput_ops_per_sec:9.0f} "
+            f"host={time.time() - t0:5.1f}s "
+            f"fast={ft.used_pages}/{ft.capacity_pages} "
+            f"fastref={kernel.fast_ref_fraction():.2f} "
+            f"down={kernel.topology.migrations_between('fast', 'slow')} "
+            f"up={kernel.topology.migrations_between('slow', 'fast')}"
+        )
+    base = results["all_slow"]
+    print()
+    for pname, tput in results.items():
+        print(f"{pname:18s} {tput / base:.2f}x")
+
+
+def _config_for(wl_cls, kernel, scale):
+    probe = wl_cls(kernel)
+    cfg = probe.config
+    return type(cfg)(
+        name=cfg.name,
+        dataset_bytes=cfg.dataset_bytes,
+        scale_factor=scale,
+        num_threads=cfg.num_threads,
+        value_bytes=cfg.value_bytes,
+        extra=cfg.extra,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works on offline machines
+that lack the ``wheel`` package (PEP 660 editable installs need it).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Persist experiment reports as JSON for offline analysis.
+
+Reports are dataclass trees with enum/dataclass leaves; this module
+flattens them into plain JSON-compatible structures, stamps them with
+the run configuration, and loads them back as dictionaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert report objects to JSON-compatible values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _plain(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {_key(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        return key.name
+    if isinstance(key, tuple):
+        return "/".join(str(_key(part)) for part in key)
+    return str(key)
+
+
+def save_results(
+    report: Any,
+    path: Union[str, Path],
+    *,
+    experiment: str,
+    config: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a report to ``path`` as JSON; returns the path written."""
+    path = Path(path)
+    payload = {
+        "experiment": experiment,
+        "config": config or {},
+        "report": _plain(report),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a previously saved report payload."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("experiment", "report"):
+        if key not in payload:
+            raise ValueError(f"not a kloc-repro results file (missing {key!r})")
+    return payload

@@ -1,0 +1,143 @@
+"""Generic parameter sweeps over the two-tier platform.
+
+Fig 6 is one fixed sweep; this utility exposes the same machinery for
+arbitrary grids — any combination of policies, bandwidth ratios, fast
+capacities, scale factors, and seeds — with CSV export for offline
+plotting. Used by downstream studies that want sensitivity curves the
+paper didn't draw.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.runner import run_two_tier
+from repro.metrics.report import format_table
+
+#: Grid keys forwarded to :func:`run_two_tier`.
+SWEEPABLE = ("bandwidth_ratio", "fast_bytes_paper", "scale_factor", "run_seed")
+
+
+@dataclass
+class SweepRow:
+    """One (workload, policy, grid-point) measurement."""
+
+    workload: str
+    policy: str
+    params: Dict[str, Any]
+    throughput: float
+    fast_ref_fraction: float
+    migrations_down: int
+    migrations_up: int
+
+    def as_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "workload": self.workload,
+            "policy": self.policy,
+            "throughput": self.throughput,
+            "fast_ref_fraction": self.fast_ref_fraction,
+            "migrations_down": self.migrations_down,
+            "migrations_up": self.migrations_up,
+        }
+        record.update(self.params)
+        return record
+
+
+@dataclass
+class SweepResult:
+    rows: List[SweepRow] = field(default_factory=list)
+
+    def filter(self, *, workload: Optional[str] = None, policy: Optional[str] = None) -> List[SweepRow]:
+        return [
+            r
+            for r in self.rows
+            if (workload is None or r.workload == workload)
+            and (policy is None or r.policy == policy)
+        ]
+
+    def best(self, *, workload: Optional[str] = None) -> SweepRow:
+        """Highest-throughput row (optionally within one workload)."""
+        candidates = self.filter(workload=workload)
+        if not candidates:
+            raise ValueError("no rows match")
+        return max(candidates, key=lambda r: r.throughput)
+
+    def speedup(self, row: SweepRow, baseline_policy: str) -> float:
+        """Row throughput over the same grid-point baseline policy."""
+        for base in self.rows:
+            if (
+                base.workload == row.workload
+                and base.policy == baseline_policy
+                and base.params == row.params
+            ):
+                return row.throughput / base.throughput
+        raise ValueError(
+            f"no {baseline_policy!r} baseline at {row.params} for {row.workload}"
+        )
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        if not self.rows:
+            raise ValueError("empty sweep")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        records = [r.as_record() for r in self.rows]
+        fieldnames = list(records[0])
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(records)
+        return path
+
+    def format_report(self) -> str:
+        if not self.rows:
+            return "(empty sweep)"
+        param_keys = sorted({k for r in self.rows for k in r.params})
+        return format_table(
+            ["workload", "policy"] + param_keys + ["tput", "fast_ref"],
+            [
+                [r.workload, r.policy]
+                + [r.params.get(k, "") for k in param_keys]
+                + [r.throughput, r.fast_ref_fraction]
+                for r in self.rows
+            ],
+            title="parameter sweep",
+        )
+
+
+def run_sweep(
+    workloads: Sequence[str],
+    policies: Sequence[str],
+    grid: Dict[str, Sequence[Any]],
+    *,
+    ops: int,
+) -> SweepResult:
+    """Cartesian sweep: every (workload, policy, grid point) combination.
+
+    ``grid`` keys must come from :data:`SWEEPABLE`.
+    """
+    for key in grid:
+        if key not in SWEEPABLE:
+            raise ValueError(f"cannot sweep {key!r}; sweepable: {SWEEPABLE}")
+    result = SweepResult()
+    keys = list(grid)
+    for values in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        for workload in workloads:
+            for policy in policies:
+                run = run_two_tier(workload, policy, ops=ops, **params)
+                result.rows.append(
+                    SweepRow(
+                        workload=workload,
+                        policy=policy,
+                        params=dict(params),
+                        throughput=run.throughput,
+                        fast_ref_fraction=run.fast_ref_fraction,
+                        migrations_down=run.migrations_down,
+                        migrations_up=run.migrations_up,
+                    )
+                )
+    return result

@@ -1,0 +1,99 @@
+"""Reproduction verdicts: compare measured reports to the paper's bands.
+
+The benches assert these same shapes at run time; this module exposes
+them as data so reports can be audited offline (EXPERIMENTS.md style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.analysis.expectations import PAPER_EXPECTATIONS, Band
+
+if TYPE_CHECKING:
+    from repro.experiments.fig4 import Fig4Report
+    from repro.experiments.fig5 import Fig5aReport
+
+
+@dataclass
+class Check:
+    """One claim checked against its band."""
+
+    experiment: str
+    metric: str
+    measured: float
+    band: Band
+    ok: bool
+
+    def __repr__(self) -> str:
+        mark = "PASS" if self.ok else "MISS"
+        return (
+            f"[{mark}] {self.experiment}/{self.metric}: "
+            f"measured={self.measured:.3f}, expected {self.band!r}"
+        )
+
+
+@dataclass
+class Verdict:
+    """A bundle of checks with an overall pass flag."""
+
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def add(self, experiment: str, metric: str, measured: float) -> Check:
+        band = PAPER_EXPECTATIONS[(experiment, metric)]
+        check = Check(experiment, metric, measured, band, band.contains(measured))
+        self.checks.append(check)
+        return check
+
+    def format_report(self) -> str:
+        return "\n".join(repr(c) for c in self.checks)
+
+
+def check_fig4(report: "Fig4Report") -> Verdict:
+    """Audit a Figure 4 report against §7.1's claims."""
+    verdict = Verdict()
+    s = report.speedups
+    if "rocksdb" in s:
+        verdict.add(
+            "fig4", "rocksdb_klocs_over_naive", report.ratio("rocksdb", "klocs", "naive")
+        )
+        verdict.add(
+            "fig4",
+            "rocksdb_klocsnomig_over_naive",
+            report.ratio("rocksdb", "klocs_nomigration", "naive"),
+        )
+    if "redis" in s:
+        verdict.add(
+            "fig4", "redis_klocs_over_naive", report.ratio("redis", "klocs", "naive")
+        )
+        verdict.add(
+            "fig4", "redis_klocs_over_nimble", report.ratio("redis", "klocs", "nimble")
+        )
+    if "cassandra" in s:
+        verdict.add(
+            "fig4",
+            "cassandra_klocs_over_nimblepp",
+            report.ratio("cassandra", "klocs", "nimble++"),
+        )
+    return verdict
+
+
+def check_fig5a(report: "Fig5aReport") -> Verdict:
+    """Audit a Figure 5a report against §7.1's Optane claims."""
+    verdict = Verdict()
+    for workload, speedups in report.speedups.items():
+        verdict.add("fig5a", "ideal_over_remote", speedups["all_local"])
+        verdict.add(
+            "fig5a",
+            "klocs_over_autonuma",
+            speedups["klocs"] / speedups["autonuma"],
+        )
+        verdict.add(
+            "fig5a", "klocs_over_nimble", speedups["klocs"] / speedups["nimble"]
+        )
+    return verdict

@@ -1,0 +1,237 @@
+"""Configuration dataclasses shared across the simulator.
+
+These encode the paper's Table 4 platforms and §6.2 methodology as data,
+so experiments can sweep them (Fig 6 varies fast-memory capacity and the
+fast:slow bandwidth ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import ConfigError
+from repro.core.units import GB, MB, NS, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Static description of one memory tier/device.
+
+    Bandwidth is stored in bytes/ns (== GB/s numerically) to keep the
+    access-cost arithmetic integer-friendly.
+    """
+
+    name: str
+    capacity_bytes: int
+    read_latency_ns: int
+    write_latency_ns: int
+    read_bw_bytes_per_ns: float
+    write_bw_bytes_per_ns: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"tier {self.name}: capacity must be positive")
+        if self.capacity_bytes % PAGE_SIZE:
+            raise ConfigError(
+                f"tier {self.name}: capacity must be page-aligned "
+                f"({self.capacity_bytes} % {PAGE_SIZE} != 0)"
+            )
+        if self.read_latency_ns < 0 or self.write_latency_ns < 0:
+            raise ConfigError(f"tier {self.name}: latency cannot be negative")
+        if self.read_bw_bytes_per_ns <= 0 or self.write_bw_bytes_per_ns <= 0:
+            raise ConfigError(f"tier {self.name}: bandwidth must be positive")
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.capacity_bytes // PAGE_SIZE
+
+
+def fast_dram_spec(capacity_bytes: int = 8 * GB, bandwidth_gbps: float = 30.0) -> TierSpec:
+    """The paper's fast tier: high-bandwidth DRAM, 8GB @ 30GB/s (Table 4)."""
+    return TierSpec(
+        name="fast",
+        capacity_bytes=capacity_bytes,
+        read_latency_ns=80 * NS,
+        write_latency_ns=80 * NS,
+        read_bw_bytes_per_ns=bandwidth_gbps,
+        write_bw_bytes_per_ns=bandwidth_gbps,
+    )
+
+
+def slow_dram_spec(
+    capacity_bytes: int = 80 * GB, bandwidth_gbps: float = 30.0 / 8
+) -> TierSpec:
+    """The paper's slow tier: bandwidth-throttled DRAM (default 1:8 ratio).
+
+    §2's device survey: slower tiers see 2-3x higher read latency and the
+    bandwidth reduction configured via throttling; defaults follow the
+    paper's headline 1:8 configuration.
+    """
+    return TierSpec(
+        name="slow",
+        capacity_bytes=capacity_bytes,
+        read_latency_ns=200 * NS,
+        write_latency_ns=300 * NS,
+        read_bw_bytes_per_ns=bandwidth_gbps,
+        write_bw_bytes_per_ns=bandwidth_gbps,
+    )
+
+
+def pmem_spec(capacity_bytes: int = 128 * GB) -> TierSpec:
+    """Optane DC persistent memory DIMM (Table 4, Memory Mode backing)."""
+    return TierSpec(
+        name="pmem",
+        capacity_bytes=capacity_bytes,
+        read_latency_ns=300 * NS,
+        write_latency_ns=500 * NS,
+        read_bw_bytes_per_ns=6.0,
+        write_bw_bytes_per_ns=2.0,
+    )
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """NVMe block device (Table 4): sequential/random bandwidth + latency."""
+
+    name: str = "nvme"
+    seq_bw_bytes_per_ns: float = 1.2
+    rand_bw_bytes_per_ns: float = 0.412
+    latency_ns: int = 20_000 * NS
+
+    def __post_init__(self) -> None:
+        if self.seq_bw_bytes_per_ns <= 0 or self.rand_bw_bytes_per_ns <= 0:
+            raise ConfigError("storage bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class MigrationSpec:
+    """Cost model for page migration (§4.4, Nimble's parallel page copy)."""
+
+    #: Fixed per-page remap cost: page-table/radix-tree updates + TLB
+    #: shootdown, ~3us per 4KB page in Linux (Nimble, ASPLOS'19).
+    remap_overhead_ns: int = 3000 * NS
+    #: Number of kernel threads copying pages concurrently.
+    copy_threads: int = 4
+
+    def __post_init__(self) -> None:
+        if self.copy_threads <= 0:
+            raise ConfigError("copy_threads must be positive")
+        if self.remap_overhead_ns < 0:
+            raise ConfigError("remap overhead cannot be negative")
+
+
+@dataclass(frozen=True)
+class LRUSpec:
+    """LRU page-scan engine parameters (§3.3).
+
+    The paper measures ~2 seconds to scan one million pages on their Xeon,
+    i.e. 500K pages/sec; the scan period bounds how quickly hotness changes
+    are observed — the structural reason Nimble++ cannot track 36ms slab
+    lifetimes.
+    """
+
+    scan_pages_per_second: int = 500_000
+    scan_period_ns: int = 100 * 1000 * 1000  # 100ms between scan rounds
+    #: Pages whose age exceeds this many scan rounds are cold.
+    cold_age_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.scan_pages_per_second <= 0:
+            raise ConfigError("scan rate must be positive")
+        if self.scan_period_ns <= 0:
+            raise ConfigError("scan period must be positive")
+
+
+@dataclass(frozen=True)
+class KLOCSpec:
+    """KLOC mechanism parameters (§4/§5)."""
+
+    #: Per-CPU knode fast-path list length cap (§4.3: "restricting their
+    #: sizes ensures they can be traversed fast").
+    percpu_list_max: int = 64
+    #: Period of the asynchronous KLOC migration daemon (§5: dedicated
+    #: kernel threads migrate objects between fast and slow memory).
+    migrate_period_ns: int = 10 * 1000 * 1000  # 10ms
+    #: knode age (in daemon rounds without access) after which an *open*
+    #: file's KLOC is considered cold (§3.2: relative ages infer likely-cold
+    #: files that have not been closed yet).
+    cold_age_rounds: int = 4
+    #: Memory-capacity cap for KLOC use of fast memory, as a fraction of
+    #: the fast tier; mirrors sys_kloc_memsize() (Table 2). §4.2.2: "KLOCs
+    #: prioritize application pages" — capping the kernel-object share
+    #: keeps hot application pages from being displaced by kernel bursts.
+    fast_capacity_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.percpu_list_max <= 0:
+            raise ConfigError("percpu_list_max must be positive")
+        if not 0.0 < self.fast_capacity_fraction <= 1.0:
+            raise ConfigError("fast_capacity_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A complete evaluation platform (Table 4)."""
+
+    name: str
+    fast: TierSpec
+    slow: TierSpec
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    migration: MigrationSpec = field(default_factory=MigrationSpec)
+    lru: LRUSpec = field(default_factory=LRUSpec)
+    kloc: KLOCSpec = field(default_factory=KLOCSpec)
+    num_cpus: int = 16
+    #: Optane Memory Mode: per-node DRAM L4 cache capacity (0 = no cache).
+    hw_cache_bytes: int = 0
+    #: Writeback/journal-commit daemon period.
+    writeback_period_ns: int = 50 * 1000 * 1000  # 50ms
+
+    def __post_init__(self) -> None:
+        if self.num_cpus <= 0:
+            raise ConfigError("num_cpus must be positive")
+        if self.hw_cache_bytes < 0:
+            raise ConfigError("hw_cache_bytes cannot be negative")
+
+
+def two_tier_platform_spec(
+    fast_capacity_bytes: int = 256 * MB,
+    bandwidth_ratio: int = 8,
+    slow_capacity_bytes: Optional[int] = None,
+    num_cpus: int = 16,
+) -> PlatformSpec:
+    """Scaled-down version of the paper's two-tier platform.
+
+    The paper uses 8GB fast / 80GB slow with 40GB working sets; the
+    simulator preserves the *ratios* (fast:slow capacity 1:10, fast-capacity
+    vs working-set, bandwidth 1:``bandwidth_ratio``) at MB scale so a full
+    workload run takes seconds of host time.
+
+    Time is compressed alongside space: daemon periods and the LRU scan
+    rate shrink by roughly the same ~512x factor as the dataset, so the
+    relationships the paper's argument rests on are preserved — the
+    scan-based detection latency (period x cold rounds + scan time) stays
+    *longer* than kernel-object lifetimes and *shorter* than application
+    page lifetimes.
+    """
+    if slow_capacity_bytes is None:
+        slow_capacity_bytes = 10 * fast_capacity_bytes
+    return PlatformSpec(
+        name=f"two-tier(fast={fast_capacity_bytes // MB}MB,1:{bandwidth_ratio})",
+        fast=fast_dram_spec(capacity_bytes=fast_capacity_bytes),
+        slow=slow_dram_spec(
+            capacity_bytes=slow_capacity_bytes,
+            bandwidth_gbps=30.0 / bandwidth_ratio,
+        ),
+        lru=LRUSpec(
+            scan_pages_per_second=256_000_000,
+            scan_period_ns=4_000_000,  # 4ms: detection latency ~8-12ms,
+            cold_age_rounds=2,  # comparable to fast-capacity fill time
+        ),
+        kloc=KLOCSpec(
+            migrate_period_ns=1_000_000,  # 1ms daemon cadence
+            cold_age_rounds=16,  # open knodes idle ~16ms are likely-cold
+        ),
+        writeback_period_ns=500_000,  # 500us (paper: seconds)
+        num_cpus=num_cpus,
+    )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the KLOC reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one clause while tests can assert
+on the specific subclasses.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the kloc-repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached a state that violates its own invariants."""
+
+
+class AllocationError(ReproError):
+    """A memory allocation could not be satisfied by any tier."""
+
+
+class MigrationError(ReproError):
+    """A page or kernel object could not be migrated.
+
+    Raised, for example, when a caller asks to relocate a slab-allocated
+    object: slab allocations are referenced by physical address and are
+    non-relocatable by construction (paper §3.3 / §4.4).
+    """
+
+
+class VFSError(ReproError):
+    """Filesystem-level failure (missing file, bad path, closed handle)."""
+
+
+class NetworkError(ReproError):
+    """Network-stack failure (unknown socket, closed connection)."""

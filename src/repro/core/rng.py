@@ -1,0 +1,102 @@
+"""Deterministic random number generation.
+
+All stochastic behaviour in the simulator — key distributions, file
+selection, request interleaving — flows through :class:`DeterministicRNG`
+so that a (seed, stream-name) pair fully determines every experiment.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRNG:
+    """A seeded RNG with named sub-streams.
+
+    Sub-streams (:meth:`stream`) let independent components draw random
+    numbers without perturbing each other: adding a draw to the workload
+    generator must not change what the interference generator sees.
+    """
+
+    def __init__(self, seed: int = 42) -> None:
+        self._seed = seed
+        self._random = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> "DeterministicRNG":
+        """Derive an independent, reproducible sub-stream.
+
+        Uses CRC32 rather than ``hash()``: Python randomizes string
+        hashing per process, which would silently break cross-process
+        reproducibility of every experiment.
+        """
+        child_seed = zlib.crc32(f"{self._seed}:{name}".encode()) & 0x7FFFFFFF
+        return DeterministicRNG(child_seed)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive."""
+        return self._random.randint(lo, hi)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def shuffle(self, seq: List[T]) -> None:
+        self._random.shuffle(seq)
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    def zipf(self, n: int, theta: float = 0.99) -> int:
+        """Zipfian draw in [0, n), YCSB-style skew parameter ``theta``.
+
+        Uses the rejection-free inverse-CDF approximation from Gray et al.
+        ("Quickly generating billion-record synthetic databases"), the same
+        construction YCSB uses, so Cassandra/RocksDB key streams match the
+        paper's workload generators in shape.
+        """
+        if n <= 0:
+            raise ValueError(f"zipf needs a positive universe, got {n}")
+        if n == 1:
+            return 0
+        zetan = self._zeta(n, theta)
+        alpha = 1.0 / (1.0 - theta)
+        eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta(2, theta) / zetan)
+        u = self._random.random()
+        uz = u * zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** theta:
+            return 1
+        return int(n * ((eta * u) - eta + 1) ** alpha)
+
+    _zeta_cache: dict = {}
+
+    @classmethod
+    def _zeta(cls, n: int, theta: float) -> float:
+        key = (n, theta)
+        if key not in cls._zeta_cache:
+            cls._zeta_cache[key] = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        return cls._zeta_cache[key]
+
+    def pareto_bytes(self, mean_bytes: float, shape: float = 1.5) -> int:
+        """Heavy-tailed size draw with the given mean (request/file sizes)."""
+        if mean_bytes <= 0:
+            raise ValueError(f"mean must be positive: {mean_bytes}")
+        scale = mean_bytes * (shape - 1) / shape
+        u = self._random.random()
+        return max(1, int(scale / math.pow(1 - u, 1 / shape)))
+
+    def __repr__(self) -> str:
+        return f"DeterministicRNG(seed={self._seed})"

@@ -1,0 +1,51 @@
+"""Size and time units used throughout the simulator.
+
+Sizes are plain integers in bytes; times are plain integers in
+nanoseconds. Keeping both as ints makes the simulation deterministic and
+cheap — no float drift in the virtual clock.
+"""
+
+# --- sizes (bytes) ---
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: The simulator models 4KB pages exclusively (paper §5: "most Linux
+#: kernel-level objects like page cache and slab pages are allocated using
+#: 4KB pages").
+PAGE_SIZE = 4 * KB
+
+# --- times (nanoseconds) ---
+NS = 1
+US = 1000 * NS
+MS = 1000 * US
+SEC = 1000 * MS
+
+
+def pages_for(nbytes: int) -> int:
+    """Number of 4KB pages needed to hold ``nbytes`` (ceiling division)."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    return -(-nbytes // PAGE_SIZE)
+
+
+def bytes_to_human(nbytes: int) -> str:
+    """Render a byte count as a short human-readable string."""
+    if nbytes >= GB:
+        return f"{nbytes / GB:.1f}GB"
+    if nbytes >= MB:
+        return f"{nbytes / MB:.1f}MB"
+    if nbytes >= KB:
+        return f"{nbytes / KB:.1f}KB"
+    return f"{nbytes}B"
+
+
+def ns_to_human(ns: int) -> str:
+    """Render a nanosecond duration as a short human-readable string."""
+    if ns >= SEC:
+        return f"{ns / SEC:.2f}s"
+    if ns >= MS:
+        return f"{ns / MS:.2f}ms"
+    if ns >= US:
+        return f"{ns / US:.2f}us"
+    return f"{ns}ns"

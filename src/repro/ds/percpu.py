@@ -1,0 +1,101 @@
+"""Per-CPU lists with coherence, modeling §4.3's knode fast paths.
+
+Each CPU keeps a bounded, recency-ordered list of knode references — "a
+software cache of the bigger kmap structure". The same knode may appear
+on several CPUs' lists; :meth:`invalidate` provides the coherence hook
+Linux's per-CPU APIs give the real implementation. Hit/miss counters feed
+the §4.3 claim that per-CPU lists absorb 54% of rbtree accesses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class PerCPUListSet(Generic[T]):
+    """One bounded LRU list per CPU, with cross-CPU invalidation."""
+
+    def __init__(self, num_cpus: int, max_per_cpu: int) -> None:
+        if num_cpus <= 0:
+            raise ValueError(f"need at least one CPU: {num_cpus}")
+        if max_per_cpu <= 0:
+            raise ValueError(f"lists must hold at least one entry: {max_per_cpu}")
+        self.num_cpus = num_cpus
+        self.max_per_cpu = max_per_cpu
+        self._lists: List["OrderedDict[T, None]"] = [
+            OrderedDict() for _ in range(num_cpus)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _check_cpu(self, cpu: int) -> None:
+        if not 0 <= cpu < self.num_cpus:
+            raise IndexError(f"cpu {cpu} out of range [0, {self.num_cpus})")
+
+    def lookup(self, cpu: int, item: T) -> bool:
+        """Fast-path lookup on one CPU's list; refreshes recency on hit."""
+        self._check_cpu(cpu)
+        lst = self._lists[cpu]
+        if item in lst:
+            lst.move_to_end(item)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def record(self, cpu: int, item: T) -> Optional[T]:
+        """Note that ``cpu`` touched ``item``; returns any entry evicted by
+        the size cap (§4.3: "restricting their sizes ensures that they can
+        be traversed fast")."""
+        self._check_cpu(cpu)
+        lst = self._lists[cpu]
+        lst[item] = None
+        lst.move_to_end(item)
+        if len(lst) > self.max_per_cpu:
+            evicted, _ = lst.popitem(last=False)
+            return evicted
+        return None
+
+    def invalidate(self, item: T) -> int:
+        """Coherence: drop ``item`` from every CPU's list (knode deleted or
+        marked inactive). Returns the number of lists it was on."""
+        dropped = 0
+        for lst in self._lists:
+            if item in lst:
+                del lst[item]
+                dropped += 1
+        if dropped:
+            self.invalidations += 1
+        return dropped
+
+    def entries(self, cpu: int) -> List[T]:
+        """Snapshot of one CPU's list, LRU → MRU order."""
+        self._check_cpu(cpu)
+        return list(self._lists[cpu])
+
+    def all_entries(self) -> List[T]:
+        """Union of all CPUs' lists (deduplicated, arbitrary order)."""
+        seen = set()
+        out: List[T] = []
+        for lst in self._lists:
+            for item in lst:
+                if item not in seen:
+                    seen.add(item)
+                    out.append(item)
+        return out
+
+    def find_cpus(self, item: T) -> List[int]:
+        """CPUs whose list holds ``item`` — backs Table 2's find_cpu()."""
+        return [cpu for cpu, lst in enumerate(self._lists) if item in lst]
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        sizes = [len(lst) for lst in self._lists]
+        return f"PerCPUListSet(cpus={self.num_cpus}, sizes={sizes})"

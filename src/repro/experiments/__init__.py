@@ -1,0 +1,40 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment returns a structured result object with a
+``format_report()`` method printing the same rows/series the paper
+reports, and the benchmark suite under ``benchmarks/`` drives these
+functions one-to-one.
+"""
+
+from repro.experiments.fig2 import (
+    run_fig2a_footprint,
+    run_fig2b_scaling,
+    run_fig2c_references,
+    run_fig2d_lifetimes,
+)
+from repro.experiments.fig4 import run_figure4
+from repro.experiments.fig5 import run_fig5a_optane, run_fig5b_sources, run_fig5c_objtypes
+from repro.experiments.fig6 import run_figure6
+from repro.experiments.percpu_ablation import run_percpu_ablation
+from repro.experiments.prefetch import run_prefetch_study
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import TwoTierRun, run_two_tier
+from repro.experiments.table6 import run_table6_overhead
+
+__all__ = [
+    "run_two_tier",
+    "TwoTierRun",
+    "run_fig2a_footprint",
+    "run_fig2b_scaling",
+    "run_fig2c_references",
+    "run_fig2d_lifetimes",
+    "run_figure4",
+    "run_fig5a_optane",
+    "run_fig5b_sources",
+    "run_fig5c_objtypes",
+    "run_figure6",
+    "run_table6_overhead",
+    "run_percpu_ablation",
+    "run_prefetch_study",
+    "EXPERIMENTS",
+]

@@ -1,0 +1,83 @@
+"""CLI: regenerate any of the paper's figures/tables.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig4
+    python -m repro.experiments fig5b --ops 8000
+    REPRO_QUICK=1 python -m repro.experiments fig6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate KLOC paper figures/tables on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (or 'list' to enumerate)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None, help="override the per-run op budget"
+    )
+    parser.add_argument(
+        "--save", default=None, metavar="PATH", help="also write the report as JSON"
+    )
+    parser.add_argument(
+        "--verdict",
+        action="store_true",
+        help="audit the report against the paper's expected bands "
+        "(fig4/fig5a only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.experiment_id:<{width}}  {exp.description}")
+        return 0
+
+    exp = EXPERIMENTS.get(args.experiment)
+    if exp is None:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    kwargs = {"ops": args.ops} if args.ops is not None else {}
+    report = exp.runner(**kwargs)
+    print(report.format_report())
+
+    if args.save:
+        from repro.analysis.results import save_results
+
+        path = save_results(
+            report, args.save, experiment=args.experiment, config=kwargs
+        )
+        print(f"\nsaved: {path}")
+
+    if args.verdict:
+        from repro.analysis.verdict import check_fig4, check_fig5a
+
+        checkers = {"fig4": check_fig4, "fig5a": check_fig5a}
+        checker = checkers.get(args.experiment)
+        if checker is None:
+            print("\n(no verdict checker for this experiment)")
+        else:
+            verdict = checker(report)
+            print("\n" + verdict.format_report())
+            return 0 if verdict.ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

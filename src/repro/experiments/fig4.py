@@ -1,0 +1,77 @@
+"""Figure 4: two-tier speedups, normalized to *All Slow Mem*.
+
+The paper's headline: KLOCs outperform every alternative (except for
+Cassandra, where they roughly match Nimble++); RocksDB gains 1.96x over
+Naive with migration vs 1.61x without; Redis gains 2.2x over Naive /
+2.7x over Nimble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.defaults import EVAL_WORKLOADS, ops_for
+from repro.experiments.runner import TwoTierRun, run_two_tier
+from repro.metrics.report import format_table
+
+#: Bar order follows the figure.
+FIG4_POLICIES = (
+    "all_slow",
+    "naive",
+    "nimble",
+    "nimble++",
+    "klocs_nomigration",
+    "klocs",
+    "all_fast",
+)
+
+
+@dataclass
+class Fig4Report:
+    """speedups[workload][policy] = throughput / throughput(all_slow)."""
+
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    runs: List[TwoTierRun] = field(default_factory=list)
+
+    def speedup(self, workload: str, policy: str) -> float:
+        return self.speedups[workload][policy]
+
+    def ratio(self, workload: str, policy_a: str, policy_b: str) -> float:
+        """speedup(a) / speedup(b) — the paper's X-over-Y statements."""
+        return self.speedup(workload, policy_a) / self.speedup(workload, policy_b)
+
+    def format_report(self) -> str:
+        policies = [p for p in FIG4_POLICIES if any(p in v for v in self.speedups.values())]
+        rows = []
+        for workload, by_policy in self.speedups.items():
+            rows.append([workload] + [by_policy.get(p, float("nan")) for p in policies])
+        return format_table(
+            ["workload"] + list(policies),
+            rows,
+            title="Fig 4 — two-tier speedup vs All Slow Mem",
+        )
+
+
+def run_figure4(
+    workloads: Sequence[str] = EVAL_WORKLOADS,
+    policies: Sequence[str] = FIG4_POLICIES,
+    *,
+    ops: Optional[int] = None,
+) -> Fig4Report:
+    """Regenerate Figure 4 (full: 4 workloads x 7 strategies)."""
+    report = Fig4Report()
+    for workload in workloads:
+        budget = ops if ops is not None else ops_for(workload)
+        by_policy: Dict[str, float] = {}
+        for policy in policies:
+            run = run_two_tier(workload, policy, ops=budget)
+            by_policy[policy] = run.throughput
+            report.runs.append(run)
+        base = by_policy.get("all_slow")
+        if base is None:
+            base = run_two_tier(workload, "all_slow", ops=budget).throughput
+        report.speedups[workload] = {
+            policy: tput / base for policy, tput in by_policy.items()
+        }
+    return report

@@ -1,0 +1,177 @@
+"""Figure 5: Optane Memory Mode speedups (5a), sources of improvement
+(5b), and kernel-object-type sensitivity (5c)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.defaults import SCALE_FACTOR, ops_for, seed
+from repro.experiments.runner import TwoTierRun, make_workload, run_two_tier
+from repro.kloc.registry import KlocRegistry
+from repro.metrics.report import format_table
+from repro.platforms.optane import build_optane_kernel
+from repro.workloads.interference import StreamingInterferer
+
+# ----------------------------------------------------------------------
+# Fig 5a — Optane Memory Mode
+# ----------------------------------------------------------------------
+
+FIG5A_POLICIES = ("all_remote", "autonuma", "nimble", "klocs", "all_local")
+
+
+@dataclass
+class Fig5aReport:
+    """speedups[workload][policy], normalized to all_remote."""
+
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def format_report(self) -> str:
+        rows = [
+            [w] + [v.get(p, float("nan")) for p in FIG5A_POLICIES]
+            for w, v in self.speedups.items()
+        ]
+        return format_table(
+            ["workload"] + list(FIG5A_POLICIES),
+            rows,
+            title="Fig 5a — Optane Memory Mode speedup vs all-remote",
+        )
+
+
+def _optane_throughput(workload: str, policy: str, ops: int) -> float:
+    """§6.2's interference experiment: run, interfere, migrate, measure.
+
+    The workload starts on socket 0. A third of the way in, a streaming
+    co-runner contends for socket 0's bandwidth and the scheduler moves
+    the task to socket 1; the policy decides what data follows. Reported
+    throughput covers the post-interference phase, where placement
+    matters.
+    """
+    kernel, _pol = build_optane_kernel(policy, scale_factor=SCALE_FACTOR, seed=seed())
+    wl = make_workload(kernel, workload)
+    wl.setup()
+    warm = max(1, ops // 3)
+    wl.run(warm)
+
+    interferer = StreamingInterferer(kernel, "node0", streams=3)
+    interferer.start()
+    kernel.set_task_node(1)
+    result = wl.run(ops - warm)
+    interferer.stop()
+    wl.teardown()
+    return result.throughput_ops_per_sec
+
+
+def run_fig5a_optane(
+    workloads: Sequence[str] = ("rocksdb", "redis"),
+    policies: Sequence[str] = FIG5A_POLICIES,
+    *,
+    ops: Optional[int] = None,
+) -> Fig5aReport:
+    report = Fig5aReport()
+    for workload in workloads:
+        budget = ops if ops is not None else ops_for(workload)
+        tputs = {p: _optane_throughput(workload, p, budget) for p in policies}
+        base = tputs["all_remote"]
+        report.speedups[workload] = {p: t / base for p, t in tputs.items()}
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fig 5b — sources of improvement (RocksDB)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig5bReport:
+    """Per policy: slow-memory allocations (page cache, slab) and
+    fast→slow migrations, for RocksDB — lower slow-allocs and controlled
+    migrations are what give KLOCs its edge."""
+
+    rows: List[TwoTierRun] = field(default_factory=list)
+
+    def format_report(self) -> str:
+        return format_table(
+            ["policy", "slow_alloc_page_cache", "slow_alloc_slab",
+             "migr_down", "migr_up", "fast_ref_frac"],
+            [
+                [
+                    r.policy,
+                    r.slow_allocs.get("page_cache", 0),
+                    r.slow_allocs.get("slab", 0),
+                    r.migrations_down,
+                    r.migrations_up,
+                    r.fast_ref_fraction,
+                ]
+                for r in self.rows
+            ],
+            title="Fig 5b — RocksDB slow-memory allocations and migrations",
+        )
+
+
+def run_fig5b_sources(
+    policies: Sequence[str] = ("naive", "nimble", "nimble++", "klocs"),
+    *,
+    ops: Optional[int] = None,
+) -> Fig5bReport:
+    report = Fig5bReport()
+    for policy in policies:
+        report.rows.append(run_two_tier("rocksdb", policy, ops=ops))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fig 5c — incremental kernel-object-type coverage
+# ----------------------------------------------------------------------
+
+#: The paper's incremental order: app-only first, then page caches,
+#: journals, slab objects, socket buffers, block I/O.
+FIG5C_ORDER = ("none", "page_cache", "journal", "slab", "sockbuf", "block_io")
+
+
+@dataclass
+class Fig5cReport:
+    """speedups[workload][coverage_label] vs the app-only configuration."""
+
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def format_report(self) -> str:
+        labels = ["+" + g if g != "none" else "app-only" for g in FIG5C_ORDER]
+        rows = [
+            [w] + [v.get(g, float("nan")) for g in FIG5C_ORDER]
+            for w, v in self.speedups.items()
+        ]
+        return format_table(
+            ["workload"] + labels,
+            rows,
+            title="Fig 5c — KLOC speedup as object types are added "
+            "(normalized to app-only tiering)",
+        )
+
+
+def run_fig5c_objtypes(
+    workloads: Sequence[str] = ("rocksdb", "redis"),
+    *,
+    ops: Optional[int] = None,
+) -> Fig5cReport:
+    """Incrementally add Fig 5c's object groups to the KLOC registry.
+
+    Types excluded from coverage are always placed in fast memory (the
+    paper's control: "kernel objects excluded from KLOCs are placed in
+    fast memory"), which our uncovered-type placement implements.
+    """
+    report = Fig5cReport()
+    for workload in workloads:
+        base_tput: Optional[float] = None
+        covered: List[str] = []
+        by_group: Dict[str, float] = {}
+        for group in FIG5C_ORDER:
+            if group != "none":
+                covered.append(group)
+            registry = KlocRegistry.groups(*covered) if covered else KlocRegistry.none()
+            run = run_two_tier("%s" % workload, "klocs", ops=ops, registry=registry)
+            if base_tput is None:
+                base_tput = run.throughput
+            by_group[group] = run.throughput / base_tput
+        report.speedups[workload] = by_group
+    return report

@@ -1,0 +1,105 @@
+"""Figure 6: sensitivity to fast-memory capacity and bandwidth ratio.
+
+The paper sweeps fast capacity {4, 8, 32}GB against fast:slow bandwidth
+differentials {1:8, 1:4, 1:2} and reports, per configuration, the average
+speedup across workloads with min/max variance bars. The expected shape:
+gains grow with the bandwidth differential, peak at mid-scale (8GB)
+capacity, and shrink as fast capacity covers the working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.units import GB
+from repro.experiments.defaults import SWEEP_WORKLOADS, ops_for
+from repro.experiments.runner import run_two_tier
+from repro.metrics.report import format_table
+
+CAPACITIES_GB = (4, 8, 32)
+BANDWIDTH_RATIOS = (8, 4, 2)
+FIG6_POLICIES = ("nimble", "nimble++", "klocs")
+
+
+@dataclass
+class Fig6Cell:
+    """One (capacity, ratio, policy) cell: avg/min/max across workloads."""
+
+    capacity_gb: int
+    ratio: int
+    policy: str
+    avg: float
+    lo: float
+    hi: float
+    per_workload: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Fig6Report:
+    cells: List[Fig6Cell] = field(default_factory=list)
+
+    def cell(self, capacity_gb: int, ratio: int, policy: str) -> Fig6Cell:
+        for c in self.cells:
+            if (c.capacity_gb, c.ratio, c.policy) == (capacity_gb, ratio, policy):
+                return c
+        raise KeyError((capacity_gb, ratio, policy))
+
+    def format_report(self) -> str:
+        return format_table(
+            ["fast_cap", "bw_ratio", "policy", "avg_speedup", "min", "max"],
+            [
+                [f"{c.capacity_gb}GB", f"1:{c.ratio}", c.policy, c.avg, c.lo, c.hi]
+                for c in self.cells
+            ],
+            title="Fig 6 — sensitivity to capacity and bandwidth (vs All Slow)",
+        )
+
+
+def run_figure6(
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+    policies: Sequence[str] = FIG6_POLICIES,
+    capacities_gb: Sequence[int] = CAPACITIES_GB,
+    ratios: Sequence[int] = BANDWIDTH_RATIOS,
+    *,
+    ops: Optional[int] = None,
+) -> Fig6Report:
+    report = Fig6Report()
+    # Baselines per (workload, capacity, ratio): all_slow throughput.
+    for capacity in capacities_gb:
+        for ratio in ratios:
+            base: Dict[str, float] = {}
+            for workload in workloads:
+                budget = ops if ops is not None else ops_for(workload)
+                base[workload] = run_two_tier(
+                    workload,
+                    "all_slow",
+                    ops=budget,
+                    bandwidth_ratio=ratio,
+                    fast_bytes_paper=capacity * GB,
+                ).throughput
+            for policy in policies:
+                per: Dict[str, float] = {}
+                for workload in workloads:
+                    budget = ops if ops is not None else ops_for(workload)
+                    run = run_two_tier(
+                        workload,
+                        policy,
+                        ops=budget,
+                        bandwidth_ratio=ratio,
+                        fast_bytes_paper=capacity * GB,
+                    )
+                    per[workload] = run.throughput / base[workload]
+                values = list(per.values())
+                report.cells.append(
+                    Fig6Cell(
+                        capacity_gb=capacity,
+                        ratio=ratio,
+                        policy=policy,
+                        avg=sum(values) / len(values),
+                        lo=min(values),
+                        hi=max(values),
+                        per_workload=per,
+                    )
+                )
+    return report

@@ -1,0 +1,96 @@
+"""Experiment registry: id → (description, entry point).
+
+Maps every table/figure from DESIGN.md's per-experiment index to the
+function that regenerates it, so tooling (and readers) can enumerate the
+reproduction surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple
+
+from repro.experiments.fig2 import (
+    run_fig2a_footprint,
+    run_fig2b_scaling,
+    run_fig2c_references,
+    run_fig2d_lifetimes,
+)
+from repro.experiments.fig4 import run_figure4
+from repro.experiments.fig5 import run_fig5a_optane, run_fig5b_sources, run_fig5c_objtypes
+from repro.experiments.fig6 import run_figure6
+from repro.experiments.percpu_ablation import run_percpu_ablation
+from repro.experiments.prefetch import run_prefetch_study
+from repro.experiments.table6 import run_table6_overhead
+
+
+class Experiment(NamedTuple):
+    experiment_id: str
+    description: str
+    runner: Callable
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in [
+        Experiment(
+            "fig2a",
+            "Kernel-object vs application footprint per workload",
+            run_fig2a_footprint,
+        ),
+        Experiment(
+            "fig2b",
+            "Footprint split for small (10GB) vs large (40GB) inputs",
+            run_fig2b_scaling,
+        ),
+        Experiment(
+            "fig2c",
+            "Memory-reference attribution (kernel vs application)",
+            run_fig2c_references,
+        ),
+        Experiment(
+            "fig2d",
+            "Lifetimes: app pages vs slab vs page-cache pages",
+            run_fig2d_lifetimes,
+        ),
+        Experiment(
+            "fig4",
+            "Two-tier speedups across Table 5's strategies",
+            run_figure4,
+        ),
+        Experiment(
+            "fig5a",
+            "Optane Memory Mode speedups under interference",
+            run_fig5a_optane,
+        ),
+        Experiment(
+            "fig5b",
+            "Slow-memory allocations and migrations (RocksDB)",
+            run_fig5b_sources,
+        ),
+        Experiment(
+            "fig5c",
+            "Incremental kernel-object-type coverage",
+            run_fig5c_objtypes,
+        ),
+        Experiment(
+            "fig6",
+            "Capacity and bandwidth sensitivity sweep",
+            run_figure6,
+        ),
+        Experiment(
+            "table6",
+            "KLOC metadata memory overhead",
+            run_table6_overhead,
+        ),
+        Experiment(
+            "percpu",
+            "Per-CPU knode fast-path ablation (the 54% statistic)",
+            run_percpu_ablation,
+        ),
+        Experiment(
+            "prefetch",
+            "KLOC-aware readahead study (the 1.26x statistic)",
+            run_prefetch_study,
+        ),
+    ]
+}

@@ -1,0 +1,107 @@
+"""Shared run machinery: build kernel → setup workload → measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.experiments.defaults import SCALE_FACTOR, ops_for, seed
+from repro.kernel.kernel import Kernel
+from repro.kloc.registry import KlocRegistry
+from repro.metrics.footprint import FootprintSnapshot, footprint_snapshot
+from repro.metrics.references import ReferenceReport, reference_report
+from repro.platforms.twotier import PAPER_FAST_BYTES, build_two_tier_kernel
+from repro.workloads import WORKLOADS
+from repro.workloads.base import WorkloadResult
+
+
+def make_workload(kernel: Kernel, name: str, *, scale_factor: int = SCALE_FACTOR):
+    """Instantiate a workload with its default config rescaled."""
+    workload_cls = WORKLOADS[name]
+    probe_cfg = workload_cls(kernel, None).config
+    cfg = type(probe_cfg)(
+        name=probe_cfg.name,
+        dataset_bytes=probe_cfg.dataset_bytes,
+        scale_factor=scale_factor,
+        num_threads=probe_cfg.num_threads,
+        value_bytes=probe_cfg.value_bytes,
+        extra=probe_cfg.extra,
+    )
+    return workload_cls(kernel, cfg)
+
+
+@dataclass
+class TwoTierRun:
+    """Everything a figure needs from one (workload, policy) run."""
+
+    workload: str
+    policy: str
+    result: WorkloadResult
+    fast_ref_fraction: float
+    footprint: FootprintSnapshot
+    references: ReferenceReport
+    slow_allocs: Dict[str, int] = field(default_factory=dict)
+    migrations_down: int = 0
+    migrations_up: int = 0
+    kloc_metadata_bytes: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput_ops_per_sec
+
+
+def run_two_tier(
+    workload: str,
+    policy: str,
+    *,
+    ops: Optional[int] = None,
+    scale_factor: int = SCALE_FACTOR,
+    bandwidth_ratio: int = 8,
+    fast_bytes_paper: int = PAPER_FAST_BYTES,
+    registry: Optional[KlocRegistry] = None,
+    readahead_enabled: bool = True,
+    run_seed: Optional[int] = None,
+    measure_setup: bool = False,
+) -> TwoTierRun:
+    """One measured workload run on the two-tier platform.
+
+    The load phase (setup) runs first; reference counters reset so the
+    reported split covers steady state, as perf-counter measurements do.
+    """
+    kernel, _pol = build_two_tier_kernel(
+        policy,
+        scale_factor=scale_factor,
+        bandwidth_ratio=bandwidth_ratio,
+        fast_bytes_paper=fast_bytes_paper,
+        seed=run_seed if run_seed is not None else seed(),
+        registry=registry,
+        readahead_enabled=readahead_enabled,
+    )
+    wl = make_workload(kernel, workload, scale_factor=scale_factor)
+    wl.setup()
+    if not measure_setup:
+        kernel.reset_reference_counters()
+    result = wl.run(ops if ops is not None else ops_for(workload))
+
+    from repro.mem.frame import PageOwner
+
+    slow_allocs = {
+        owner.value: kernel.topology.alloc_count.get(("slow", owner), 0)
+        for owner in (PageOwner.PAGE_CACHE, PageOwner.SLAB)
+    }
+    run = TwoTierRun(
+        workload=workload,
+        policy=policy,
+        result=result,
+        fast_ref_fraction=kernel.fast_ref_fraction(),
+        footprint=footprint_snapshot(kernel.topology),
+        references=reference_report(kernel),
+        slow_allocs=slow_allocs,
+        migrations_down=kernel.topology.migrations_between("fast", "slow"),
+        migrations_up=kernel.topology.migrations_between("slow", "fast"),
+        kloc_metadata_bytes=(
+            kernel.kloc_manager.peak_metadata_bytes if kernel.kloc_manager else 0
+        ),
+    )
+    wl.teardown()
+    return run

@@ -1,0 +1,63 @@
+"""Table 6: KLOC metadata memory overhead.
+
+The paper: Filebench 44MB, RocksDB 101MB, Redis 83MB, Cassandra 12MB,
+Spark 43MB — all under 1% of memory, dominated by the 8-byte rb-tree
+pointers (≈96MB of RocksDB's 101MB). The simulator's metadata accounting
+uses the same 64B-knode + 8B-pointer arithmetic; multiplying the peak by
+the capacity scale factor gives paper-comparable magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.core.units import MB
+from repro.experiments.defaults import SCALE_FACTOR
+from repro.experiments.runner import run_two_tier
+from repro.metrics.report import format_table
+from repro.platforms.twotier import PAPER_FAST_BYTES
+
+
+@dataclass
+class Table6Report:
+    #: workload → peak metadata bytes (sim scale).
+    metadata_bytes: Dict[str, int] = field(default_factory=dict)
+    scale_factor: int = SCALE_FACTOR
+
+    def paper_equivalent_mb(self, workload: str) -> float:
+        """Scale the sim-scale peak back up to paper-scale megabytes."""
+        return self.metadata_bytes[workload] * self.scale_factor / MB
+
+    def fraction_of_memory(self, workload: str) -> float:
+        """Overhead as a fraction of fast memory (paper: <1% of total)."""
+        fast_bytes = PAPER_FAST_BYTES // self.scale_factor
+        return self.metadata_bytes[workload] / fast_bytes
+
+    def format_report(self) -> str:
+        return format_table(
+            ["workload", "peak_metadata(sim)", "paper-equivalent MB",
+             "frac of fast mem"],
+            [
+                [
+                    w,
+                    nbytes,
+                    self.paper_equivalent_mb(w),
+                    self.fraction_of_memory(w),
+                ]
+                for w, nbytes in self.metadata_bytes.items()
+            ],
+            title="Table 6 — KLOC metadata memory increase",
+        )
+
+
+def run_table6_overhead(
+    workloads: Sequence[str] = ("rocksdb", "redis", "filebench", "cassandra", "spark"),
+    *,
+    ops: Optional[int] = None,
+) -> Table6Report:
+    report = Table6Report()
+    for workload in workloads:
+        run = run_two_tier(workload, "klocs", ops=ops)
+        report.metadata_bytes[workload] = run.kloc_metadata_bytes
+    return report

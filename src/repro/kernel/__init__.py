@@ -1,0 +1,9 @@
+"""Kernel facade: wires memory, allocators, VFS, networking, KLOCs, and
+the active tiering policy into one simulated OS instance."""
+
+from repro.kernel.cpu import CpuSet
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.kernel.syscalls import SyscallInterface
+
+__all__ = ["Kernel", "SyscallInterface", "Process", "CpuSet"]

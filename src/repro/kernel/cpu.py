@@ -1,0 +1,34 @@
+"""CPU bookkeeping: round-robin assignment for workload threads.
+
+Figure 3(a)'s per-CPU knode lists live in :mod:`repro.kloc.percpu_cache`;
+this module only decides *which* CPU a workload thread's next operation
+runs on, so object allocations and fast-path lookups are spread across
+cores the way a 16-thread benchmark spreads them.
+"""
+
+from __future__ import annotations
+
+
+class CpuSet:
+    """Round-robin CPU dispenser with per-CPU op counters."""
+
+    def __init__(self, num_cpus: int) -> None:
+        if num_cpus <= 0:
+            raise ValueError(f"need at least one CPU: {num_cpus}")
+        self.num_cpus = num_cpus
+        self._next = 0
+        self.ops_per_cpu = [0] * num_cpus
+
+    def next_cpu(self) -> int:
+        """CPU for the next operation (round-robin across threads)."""
+        cpu = self._next
+        self._next = (self._next + 1) % self.num_cpus
+        self.ops_per_cpu[cpu] += 1
+        return cpu
+
+    def cpu_for_thread(self, thread_id: int) -> int:
+        """Stable CPU assignment for a pinned thread."""
+        return thread_id % self.num_cpus
+
+    def __repr__(self) -> str:
+        return f"CpuSet(cpus={self.num_cpus})"

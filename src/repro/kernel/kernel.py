@@ -1,0 +1,435 @@
+"""The Kernel: the one real implementation of the KernelContext protocol.
+
+A :class:`Kernel` is a complete simulated OS instance: memory topology,
+the four allocator families, the migration engine, the ext4-like
+filesystem, the network stack, the KLOC machinery (when the policy uses
+it), and the metric counters every experiment reads. The active
+:class:`~repro.policies.base.TieringPolicy` decides placement; the kernel
+mechanically executes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.alloc.base import KernelObject
+from repro.alloc.buddy import PageAllocator
+from repro.alloc.kloc_alloc import KlocAllocator
+from repro.alloc.slab import SlabAllocator
+from repro.alloc.vmalloc import VmallocAllocator
+from repro.core.clock import Clock
+from repro.core.config import PlatformSpec
+from repro.core.errors import AllocationError, SimulationError
+from repro.core.objtypes import AllocatorKind, KernelObjectType
+from repro.core.rng import DeterministicRNG
+from repro.kernel.cpu import CpuSet
+from repro.kloc.manager import KlocManager
+from repro.kloc.migrationd import KlocMigrationDaemon
+from repro.kloc.registry import KlocRegistry
+from repro.mem.frame import PageFrame, PageOwner
+from repro.mem.hwcache import HardwareDRAMCache
+from repro.mem.migration import MigrationEngine
+from repro.mem.node import NumaNode
+from repro.mem.thp import CompoundRegistry
+from repro.mem.topology import MemoryTopology
+from repro.net.stack import NetworkStack
+from repro.vfs.filesystem import Filesystem
+from repro.vfs.inode import Inode
+from repro.vfs.storage import NVMeDevice
+from repro.vfs.writeback import WritebackDaemon
+
+
+class Kernel:
+    """One simulated OS instance under one tiering policy."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        policy,
+        *,
+        registry: Optional[KlocRegistry] = None,
+        seed: int = 42,
+        page_cache_max_pages: Optional[int] = None,
+        readahead_enabled: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.policy = policy
+        self.clock = Clock()
+        self.rng = DeterministicRNG(seed)
+        self.num_cpus = platform.num_cpus
+        self.cpus = CpuSet(platform.num_cpus)
+
+        self.topology = MemoryTopology([platform.fast, platform.slow])
+        self.engine = MigrationEngine(self.topology, self.clock, platform.migration)
+        self.storage = NVMeDevice(platform.storage)
+        self.thp = CompoundRegistry()
+
+        self.slab = SlabAllocator(self.topology, self.clock)
+        self.kloc_alloc = KlocAllocator(self.topology, self.clock)
+        self.page_alloc = PageAllocator(self.topology, self.clock)
+        self.vmalloc = VmallocAllocator(self.topology, self.clock)
+
+        # NUMA (Optane Memory Mode) wiring: each tier is a socket with an
+        # optional hardware DRAM cache in front.
+        self.numa_mode = bool(getattr(policy, "numa_mode", False))
+        self.task_node = 0
+        self.nodes: Dict[str, NumaNode] = {}
+        if self.numa_mode:
+            for node_id, spec in enumerate([platform.fast, platform.slow]):
+                cache = (
+                    HardwareDRAMCache(platform.hw_cache_bytes)
+                    if platform.hw_cache_bytes
+                    else None
+                )
+                self.nodes[spec.name] = NumaNode(
+                    node_id, self.topology.tier(spec.name), cache
+                )
+
+        # KLOC machinery (only when the policy asks for it).
+        self.kloc_registry = registry if registry is not None else KlocRegistry()
+        self.kloc_manager: Optional[KlocManager] = None
+        self.kloc_daemon: Optional[KlocMigrationDaemon] = None
+        if policy.uses_kloc:
+            self.kloc_manager = KlocManager(
+                self.clock,
+                num_cpus=platform.num_cpus,
+                registry=self.kloc_registry,
+                spec=platform.kloc,
+            )
+            self.kloc_daemon = KlocMigrationDaemon(
+                self.kloc_manager,
+                self.engine,
+                self.topology,
+                fast_tier=platform.fast.name,
+                slow_tier=platform.slow.name,
+                kloc_allocator=self.kloc_alloc,
+                spec=platform.kloc,
+                background_charge=self.background_cpu_work,
+            )
+            self.kloc_manager.on_knode_inactive = policy.on_knode_inactive
+            self.kloc_manager.on_knode_active = policy.on_knode_active
+            self.kloc_manager.on_knode_deleted = (
+                lambda knode: self.kloc_daemon.unmark(knode.knode_id)
+            )
+
+        # Metric counters (Fig 2c's reference attribution).
+        self.kernel_refs = 0
+        self.kernel_ref_bytes = 0
+        self.app_refs = 0
+        self.app_ref_bytes = 0
+        self.refs_by_owner: Dict[PageOwner, int] = {o: 0 for o in PageOwner}
+        #: (tier_name, is_kernel) → reference count, for placement quality
+        #: diagnostics (what fraction of traffic actually hit fast memory).
+        self.refs_by_tier: Dict[tuple, int] = {}
+        #: (owner, tier) → cumulative access ns, for time decomposition.
+        self.access_ns_by: Dict[tuple, int] = {}
+        self.storage_ns_total = 0
+        self.background_ns_total = 0
+        #: Optional tracepoint sink (repro.core.trace.Tracer); costs one
+        #: None-check per event when unset.
+        self.tracer = None
+
+        # Subsystems.
+        if page_cache_max_pages is None:
+            # Tight enough that steady-state workloads see continual page
+            # cache reclaim — the churn that recycles cold (including
+            # fast-tier-stranded) pages and bounds cache-page lifetimes.
+            total = platform.fast.capacity_pages + platform.slow.capacity_pages
+            page_cache_max_pages = max(64, int(total * 0.4))
+        self.fs = Filesystem(
+            self,
+            page_cache_max_pages=page_cache_max_pages,
+            readahead_enabled=readahead_enabled,
+        )
+        demux = policy.early_demux if policy.early_demux is not None else policy.uses_kloc
+        self.net = NetworkStack(self, early_demux=demux)
+        self.writeback = WritebackDaemon(
+            self.fs, period_ns=platform.writeback_period_ns
+        )
+
+        policy.attach(self)
+
+    def start(self) -> None:
+        """Start background daemons (writeback + policy scanners)."""
+        self.writeback.start()
+        self.policy.start_daemons()
+
+    # ------------------------------------------------------------------
+    # KernelContext: kernel-object lifecycle
+    # ------------------------------------------------------------------
+
+    def alloc_object(
+        self,
+        otype: KernelObjectType,
+        inode: Optional[Inode] = None,
+        *,
+        cpu: int = 0,
+    ) -> KernelObject:
+        covered = (
+            self.kloc_manager is not None and self.kloc_registry.covered(otype)
+        )
+        tier_order = self.policy.tier_order_kernel(
+            otype, inode, covered=covered, cpu=cpu
+        )
+        knode_id = inode.knode_id if (inode is not None and covered) else None
+
+        try:
+            obj = self._route_alloc(otype, tier_order, knode_id, covered)
+        except AllocationError:
+            # Memory pressure: shrink the page cache, then retry once.
+            self._emergency_reclaim(cpu=cpu)
+            obj = self._route_alloc(otype, tier_order, knode_id, covered)
+
+        self._fix_node_id(obj.frame)
+        if covered and inode is not None:
+            self.kloc_manager.add_object(inode, obj, cpu=cpu)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.clock.now(),
+                "alloc",
+                obj.otype.name,
+                allocator=obj.allocator,
+                tier=obj.frame.tier_name,
+                knode=obj.knode_id,
+            )
+        return obj
+
+    def _route_alloc(
+        self,
+        otype: KernelObjectType,
+        tier_order: List[str],
+        knode_id: Optional[int],
+        covered: bool,
+    ) -> KernelObject:
+        if otype.allocator is AllocatorKind.SLAB:
+            if covered and self.policy.uses_kloc_interface:
+                # §4.4: redirected sites get relocatable, knode-grouped pages.
+                return self.kloc_alloc.alloc(otype, tier_order, knode_id=knode_id)
+            return self.slab.alloc(otype, tier_order, knode_id=knode_id)
+        return self.page_alloc.alloc_object(otype, tier_order, knode_id=knode_id)
+
+    def free_object(self, obj: KernelObject, *, cpu: int = 0) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.clock.now(),
+                "free",
+                obj.otype.name,
+                lifetime_ns=obj.lifetime_ns(self.clock.now()),
+            )
+        if self.kloc_manager is not None and obj.knode_id is not None:
+            self.kloc_manager.remove_object(obj, cpu=cpu)
+        if obj.allocator == "slab":
+            self.slab.free(obj)
+        elif obj.allocator == "kloc":
+            self.kloc_alloc.free(obj)
+        else:
+            self.page_alloc.free_object(obj)
+
+    # ------------------------------------------------------------------
+    # KernelContext: references
+    # ------------------------------------------------------------------
+
+    def access_object(
+        self,
+        obj: KernelObject,
+        nbytes: Optional[int] = None,
+        *,
+        write: bool = False,
+        cpu: int = 0,
+    ) -> int:
+        if not obj.live:
+            raise SimulationError(f"access to freed object {obj!r}")
+        size = nbytes if nbytes is not None else obj.size_bytes
+        cost = self._charge_access(obj.frame, size, write=write)
+        self.kernel_refs += 1
+        self.kernel_ref_bytes += size
+        self.refs_by_owner[obj.frame.owner] += 1
+        if self.kloc_manager is not None and obj.knode_id is not None:
+            self.kloc_manager.note_access(obj, cpu=cpu)
+        return cost
+
+    def access_frame(
+        self, frame: PageFrame, nbytes: int, *, write: bool = False, cpu: int = 0
+    ) -> int:
+        if not frame.live:
+            raise SimulationError(f"access to freed frame {frame!r}")
+        cost = self._charge_access(frame, nbytes, write=write)
+        if frame.owner is PageOwner.APP:
+            self.app_refs += 1
+            self.app_ref_bytes += nbytes
+        else:
+            self.kernel_refs += 1
+            self.kernel_ref_bytes += nbytes
+        self.refs_by_owner[frame.owner] += 1
+        return cost
+
+    def _charge_access(self, frame: PageFrame, nbytes: int, *, write: bool) -> int:
+        if self.numa_mode:
+            node = self.nodes[frame.tier_name]
+            cost = node.access_cost_ns(
+                frame.fid, nbytes, write=write, from_node=self.task_node
+            )
+        else:
+            cost = self.topology.tier(frame.tier_name).access_cost_ns(
+                nbytes, write=write
+            )
+        key = (frame.tier_name, frame.owner is not PageOwner.APP)
+        self.refs_by_tier[key] = self.refs_by_tier.get(key, 0) + 1
+        cost_key = (frame.owner, frame.tier_name)
+        self.access_ns_by[cost_key] = self.access_ns_by.get(cost_key, 0) + cost
+        frame.record_access(self.clock.now(), write=write)
+        self.clock.advance(cost)
+        return cost
+
+    # ------------------------------------------------------------------
+    # KernelContext: application memory
+    # ------------------------------------------------------------------
+
+    def alloc_app_pages(
+        self, npages: int, *, cpu: int = 0, huge: bool = False
+    ) -> List[PageFrame]:
+        """Anonymous application pages; ``huge=True`` backs the region
+        with transparent huge pages (512-page compound groups, §5)."""
+        order = self.policy.tier_order_app(cpu=cpu)
+        try:
+            frames = self.page_alloc.alloc_frames(npages, order, PageOwner.APP)
+        except AllocationError:
+            self._emergency_reclaim(cpu=cpu)
+            frames = self.page_alloc.alloc_frames(npages, order, PageOwner.APP)
+        for frame in frames:
+            self._fix_node_id(frame)
+        if huge:
+            self.thp.make_compounds(frames)
+        return frames
+
+    def free_app_pages(self, frames: List[PageFrame]) -> None:
+        live = [f for f in frames if f.live]
+        self.thp.drop(live)
+        self.page_alloc.free_frames(live)
+
+    # ------------------------------------------------------------------
+    # KernelContext: storage + background work
+    # ------------------------------------------------------------------
+
+    def storage_io(
+        self, nbytes: int, *, write: bool, sequential: bool, background: bool = False
+    ) -> int:
+        cost = self.storage.io_cost_ns(nbytes, write=write, sequential=sequential)
+        if background:
+            cost = cost // self.num_cpus
+        self.storage_ns_total += cost
+        self.clock.advance(cost)
+        return cost
+
+    def background_cpu_work(self, cost_ns: int) -> None:
+        """Daemon CPU time, amortized across cores instead of stalling the
+        foreground operation."""
+        if cost_ns > 0:
+            charged = cost_ns // self.num_cpus
+            self.background_ns_total += charged
+            self.clock.advance(charged)
+
+    # ------------------------------------------------------------------
+    # KernelContext: inode / KLOC lifecycle
+    # ------------------------------------------------------------------
+
+    def on_inode_create(self, inode: Inode, *, cpu: int = 0) -> None:
+        if self.kloc_manager is not None:
+            self.kloc_manager.create_knode(inode, cpu=cpu)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.clock.now(), "knode", "create",
+                    knode=inode.knode_id, ino=inode.ino,
+                )
+
+    def on_inode_open(self, inode: Inode, *, cpu: int = 0) -> None:
+        if self.kloc_manager is not None:
+            self.kloc_manager.open_knode(inode, cpu=cpu)
+
+    def on_inode_close(self, inode: Inode, *, cpu: int = 0) -> None:
+        if self.kloc_manager is not None:
+            self.kloc_manager.close_knode(inode, cpu=cpu)
+
+    def on_inode_unlink(self, inode: Inode, *, cpu: int = 0) -> None:
+        if self.kloc_manager is not None:
+            self.kloc_manager.delete_knode(inode, cpu=cpu)
+
+    def notify_prefetch(self, inode: Inode, npages: int) -> None:
+        """Readahead happened for this inode — let the policy piggyback
+        (KLOCs promote the knode's kernel objects, §4.4)."""
+        self.policy.on_prefetch(inode, npages)
+
+    def adopt_object(self, obj: KernelObject, inode: Inode, *, cpu: int = 0) -> None:
+        """Attach an object allocated before its inode existed (the inode
+        structure itself, driver rx buffers resolved by early demux)."""
+        if self.kloc_manager is not None:
+            self.kloc_manager.add_object(inode, obj, cpu=cpu)
+
+    # ------------------------------------------------------------------
+    # NUMA helpers
+    # ------------------------------------------------------------------
+
+    def set_task_node(self, node: int) -> None:
+        """The scheduler moved the workload to another socket (§6.2's
+        interference experiment)."""
+        if not self.numa_mode:
+            raise SimulationError("set_task_node requires a NUMA-mode policy")
+        self.task_node = node
+        hook = getattr(self.policy, "on_task_moved", None)
+        if hook is not None:
+            hook()
+
+    def _fix_node_id(self, frame: PageFrame) -> None:
+        if self.numa_mode and frame.tier_name in self.nodes:
+            frame.node_id = self.nodes[frame.tier_name].node_id
+
+    # ------------------------------------------------------------------
+    # pressure + reporting
+    # ------------------------------------------------------------------
+
+    def _emergency_reclaim(self, *, cpu: int = 0) -> None:
+        """Direct reclaim: drop a slice of the coldest page-cache pages."""
+        victims = self.fs.cache_mgr.eviction_victims(256)
+        if not victims:
+            raise AllocationError("memory exhausted and nothing reclaimable")
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.clock.now(), "reclaim", "direct", victims=len(victims)
+            )
+        for cache, page in victims:
+            if page.dirty:
+                self.storage_io(
+                    page.obj.size_bytes, write=True, sequential=False, background=True
+                )
+                page.clean()
+            self.fs.cache_mgr.note_remove(page)
+            cache.remove(page.index)
+            self.free_object(page.obj, cpu=cpu)
+
+    def reset_reference_counters(self) -> None:
+        """Zero the Fig 2c attribution counters (called after a workload's
+        load phase so measurements cover steady state only)."""
+        self.kernel_refs = 0
+        self.kernel_ref_bytes = 0
+        self.app_refs = 0
+        self.app_ref_bytes = 0
+        self.refs_by_owner = {o: 0 for o in PageOwner}
+        self.refs_by_tier = {}
+
+    def fast_ref_fraction(self, fast_tier: str = "fast") -> float:
+        """Fraction of references served by the fast tier — the quantity
+        tiering quality ultimately controls."""
+        total = sum(self.refs_by_tier.values())
+        fast = sum(n for (t, _k), n in self.refs_by_tier.items() if t == fast_tier)
+        return fast / total if total else 0.0
+
+    def kernel_ref_fraction(self) -> float:
+        """Fig 2c: fraction of memory references that hit kernel objects."""
+        total = self.kernel_refs + self.app_refs
+        return self.kernel_refs / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Kernel(policy={self.policy.name}, now={self.clock.now_seconds():.3f}s, "
+            f"{self.topology!r})"
+        )

@@ -1,0 +1,88 @@
+"""System-call layer: the thin boundary workloads cross into the kernel.
+
+§5 ("KLOC System call cost"): entering a syscall under KLOCs just sets a
+flag marking the inode active — "a fast operation". Each syscall here
+charges a fixed entry/exit cost and dispatches to the filesystem or
+network stack; workloads never touch those subsystems directly, which
+keeps the operation mix measurable in one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.core.units import NS
+from repro.net.socket import Socket
+from repro.vfs.filesystem import FileHandle
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+
+#: Syscall entry/exit (trap, register save, return) — ~150ns on Broadwell.
+SYSCALL_COST_NS = 150 * NS
+
+
+class SyscallInterface:
+    """open/read/write/fsync/close/unlink + socket/send/recv/close."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.counts: Dict[str, int] = {}
+
+    def _enter(self, name: str) -> None:
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.kernel.clock.advance(SYSCALL_COST_NS)
+
+    # -- filesystem ------------------------------------------------------
+
+    def creat(self, path: str, *, cpu: int = 0) -> FileHandle:
+        self._enter("creat")
+        return self.kernel.fs.create(path, cpu=cpu)
+
+    def open(self, path: str, *, cpu: int = 0) -> FileHandle:
+        self._enter("open")
+        return self.kernel.fs.open(path, cpu=cpu)
+
+    def read(self, fh: FileHandle, offset: int, nbytes: int, *, cpu: int = 0) -> int:
+        self._enter("read")
+        return self.kernel.fs.read(fh, offset, nbytes, cpu=cpu)
+
+    def write(self, fh: FileHandle, offset: int, nbytes: int, *, cpu: int = 0) -> int:
+        self._enter("write")
+        return self.kernel.fs.write(fh, offset, nbytes, cpu=cpu)
+
+    def fsync(self, fh: FileHandle, *, cpu: int = 0, background: bool = False) -> int:
+        self._enter("fsync")
+        return self.kernel.fs.fsync(fh, cpu=cpu, background=background)
+
+    def close(self, fh: FileHandle, *, cpu: int = 0) -> None:
+        self._enter("close")
+        self.kernel.fs.close(fh, cpu=cpu)
+
+    def unlink(self, path: str, *, cpu: int = 0) -> None:
+        self._enter("unlink")
+        self.kernel.fs.unlink(path, cpu=cpu)
+
+    # -- network ---------------------------------------------------------
+
+    def socket(self, port: int, *, cpu: int = 0) -> Socket:
+        self._enter("socket")
+        return self.kernel.net.socket(port, cpu=cpu)
+
+    def send(self, sock: Socket, nbytes: int, *, cpu: int = 0) -> int:
+        self._enter("send")
+        return self.kernel.net.send(sock, nbytes, cpu=cpu)
+
+    def recv(self, sock: Socket, *, cpu: int = 0) -> int:
+        self._enter("recv")
+        return self.kernel.net.recv(sock, cpu=cpu)
+
+    def close_socket(self, sock: Socket, *, cpu: int = 0) -> None:
+        self._enter("close_socket")
+        self.kernel.net.close(sock, cpu=cpu)
+
+    def total_syscalls(self) -> int:
+        return sum(self.counts.values())
+
+    def __repr__(self) -> str:
+        return f"SyscallInterface(total={self.total_syscalls()})"

@@ -1,0 +1,36 @@
+"""The KLOC abstraction — the paper's contribution.
+
+A *kernel-level object context* groups every kernel object belonging to
+one file/socket inode behind a ``knode`` (Figure 1). The pieces:
+
+* :class:`Knode` — per-inode "table of contents": two red-black trees
+  (*rbtree-cache* for page-backed objects, *rbtree-slab* for small ones),
+  an ``age``, and an ``inuse`` flag.
+* :class:`KMap` — global rbtree of all knodes.
+* :class:`PerCPUKnodeCache` — §4.3's per-CPU fast-path lists.
+* :class:`KlocRegistry` — which allocation sites are redirected to the
+  KLOC allocation interface (the "400+ sites").
+* :class:`KlocManager` — lifecycle glue driven by the kernel's inode and
+  object hooks.
+* :class:`KlocMigrationDaemon` — asynchronous en-masse migration of cold
+  knodes' objects (§4.4).
+* :class:`KlocAPI` — Table 2's interface, verbatim.
+"""
+
+from repro.kloc.api import KlocAPI
+from repro.kloc.kmap import KMap
+from repro.kloc.knode import Knode
+from repro.kloc.manager import KlocManager
+from repro.kloc.migrationd import KlocMigrationDaemon
+from repro.kloc.percpu_cache import PerCPUKnodeCache
+from repro.kloc.registry import KlocRegistry
+
+__all__ = [
+    "Knode",
+    "KMap",
+    "PerCPUKnodeCache",
+    "KlocRegistry",
+    "KlocManager",
+    "KlocMigrationDaemon",
+    "KlocAPI",
+]

@@ -1,0 +1,190 @@
+"""KlocManager: the lifecycle glue between inodes, objects, and knodes.
+
+Driven by the kernel's hooks (§4.1: "the OS system call interface ...
+allocates kernel objects and adds pointers to them in the knodes"):
+
+* inode created  → knode created, added to kmap (KLOC lifetime == inode
+  lifetime, §4.2.2)
+* inode opened   → knode ``inuse``, hot
+* inode closed   → knode inactive → definitely-cold candidate; the
+  ``on_knode_inactive`` callback lets the policy migrate immediately
+  ("without waiting for scans of active/inactive lists", §4.5)
+* inode unlinked → knode deleted; its objects are *freed*, never migrated
+* object alloc/free/access → subtree membership + hotness upkeep
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.alloc.base import KernelObject
+from repro.core.clock import Clock
+from repro.core.config import KLOCSpec
+from repro.core.errors import SimulationError
+from repro.kloc.kmap import KMap
+from repro.kloc.knode import Knode
+from repro.kloc.percpu_cache import PerCPUKnodeCache
+from repro.kloc.registry import KlocRegistry
+from repro.vfs.inode import Inode
+
+
+class KlocManager:
+    """Owns the kmap, the per-CPU fast paths, and knode lifecycle."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        *,
+        num_cpus: int = 16,
+        registry: Optional[KlocRegistry] = None,
+        spec: Optional[KLOCSpec] = None,
+    ) -> None:
+        self.clock = clock
+        self.spec = spec or KLOCSpec()
+        self.registry = registry if registry is not None else KlocRegistry()
+        self.kmap = KMap()
+        self.percpu = PerCPUKnodeCache(
+            self.kmap, num_cpus, self.spec.percpu_list_max
+        )
+        self._next_knode_id = 1
+        #: Fired when a knode transitions to inactive (file/socket closed).
+        self.on_knode_inactive: Optional[Callable[[Knode], None]] = None
+        #: Fired when a knode becomes active again (reopen).
+        self.on_knode_active: Optional[Callable[[Knode], None]] = None
+        #: Fired when a knode is deleted (inode unlinked).
+        self.on_knode_deleted: Optional[Callable[[Knode], None]] = None
+        self.knodes_created = 0
+        self.knodes_deleted = 0
+        self.peak_metadata_bytes = 0
+        #: Running count of rb-tree pointers (8B each), kept so metadata
+        #: accounting is O(1) per allocation rather than a kmap walk.
+        self._tracked_objects = 0
+
+    # ------------------------------------------------------------------
+    # inode lifecycle
+    # ------------------------------------------------------------------
+
+    def create_knode(self, inode: Inode, *, cpu: int = 0) -> Knode:
+        """map_knode(): new inode → new knode, registered in the kmap."""
+        if inode.knode_id is not None:
+            raise SimulationError(f"inode {inode.ino} already has a knode")
+        knode = Knode(self._next_knode_id, inode.ino, created_at=self.clock.now())
+        self._next_knode_id += 1
+        inode.knode_id = knode.knode_id
+        self.kmap.add(knode)
+        self.percpu.note_access(knode, cpu=cpu)
+        self.knodes_created += 1
+        return knode
+
+    def open_knode(self, inode: Inode, *, cpu: int = 0) -> Optional[Knode]:
+        knode = self.knode_for_inode(inode, cpu=cpu)
+        if knode is None:
+            return None
+        was_inactive = not knode.inuse
+        knode.inuse = True
+        knode.touch(self.clock.now())
+        self.percpu.note_access(knode, cpu=cpu)
+        if was_inactive and self.on_knode_active is not None:
+            self.on_knode_active(knode)
+        return knode
+
+    def close_knode(self, inode: Inode, *, cpu: int = 0) -> Optional[Knode]:
+        """Mark the knode inactive once its last opener is gone."""
+        knode = self.knode_for_inode(inode, cpu=cpu)
+        if knode is None:
+            return None
+        if inode.open_count == 0:
+            knode.inuse = False
+            # §4.3: inactive knodes are invalidated from the fast paths.
+            self.percpu.invalidate(knode.knode_id)
+            if self.on_knode_inactive is not None:
+                self.on_knode_inactive(knode)
+        return knode
+
+    def delete_knode(self, inode: Inode, *, cpu: int = 0) -> Optional[Knode]:
+        """Inode deleted → knode deleted (§4.2.2); objects are freed by
+        their subsystems, not migrated (§3.2)."""
+        if inode.knode_id is None:
+            return None
+        knode = self.kmap.lookup(inode.knode_id)
+        if knode is None:
+            return None
+        self.percpu.invalidate(knode.knode_id)
+        self.kmap.remove(knode.knode_id)
+        if self.on_knode_deleted is not None:
+            self.on_knode_deleted(knode)
+        inode.knode_id = None
+        self.knodes_deleted += 1
+        return knode
+
+    # ------------------------------------------------------------------
+    # object membership
+    # ------------------------------------------------------------------
+
+    def add_object(self, inode: Inode, obj: KernelObject, *, cpu: int = 0) -> bool:
+        """Attach an object to the inode's knode (knode_add_obj()).
+
+        Returns False when the inode has no knode or the type is outside
+        the registry's coverage (excluded from the KLOC abstraction, as in
+        Fig 5c's partial configurations).
+        """
+        if not self.registry.covered(obj.otype):
+            return False
+        knode = self.knode_for_inode(inode, cpu=cpu)
+        if knode is None:
+            return False
+        obj.knode_id = knode.knode_id
+        knode.add_obj(obj)
+        knode.touch(self.clock.now())
+        self._tracked_objects += 1
+        self._note_metadata()
+        return True
+
+    def remove_object(self, obj: KernelObject, *, cpu: int = 0) -> bool:
+        if obj.knode_id is None:
+            return False
+        knode = self.percpu.lookup(obj.knode_id, cpu=cpu)
+        if knode is None:
+            return False
+        removed = knode.remove_obj(obj)
+        if removed:
+            self._tracked_objects -= 1
+        return removed
+
+    def note_access(self, obj: KernelObject, *, cpu: int = 0) -> None:
+        """A member object was referenced — refresh its KLOC's hotness."""
+        if obj.knode_id is None:
+            return
+        knode = self.percpu.lookup(obj.knode_id, cpu=cpu)
+        if knode is not None:
+            knode.touch(self.clock.now())
+            self.percpu.note_access(knode, cpu=cpu)
+
+    def knode_for_inode(self, inode: Inode, *, cpu: int = 0) -> Optional[Knode]:
+        if inode.knode_id is None:
+            return None
+        return self.percpu.lookup(inode.knode_id, cpu=cpu)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def metadata_bytes(self) -> int:
+        """Live KLOC metadata (Table 6's accounting): 64B per knode, 8B of
+        rb-tree pointer per tracked object, plus the per-CPU lists."""
+        from repro.kloc.knode import KNODE_STRUCT_BYTES, RB_POINTER_BYTES
+
+        return (
+            KNODE_STRUCT_BYTES * len(self.kmap)
+            + RB_POINTER_BYTES * self._tracked_objects
+            + self.percpu.metadata_bytes()
+        )
+
+    def _note_metadata(self) -> None:
+        self.peak_metadata_bytes = max(self.peak_metadata_bytes, self.metadata_bytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"KlocManager(knodes={len(self.kmap)}, created={self.knodes_created}, "
+            f"deleted={self.knodes_deleted})"
+        )

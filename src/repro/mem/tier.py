@@ -1,0 +1,91 @@
+"""Runtime state of one memory tier (device)."""
+
+from __future__ import annotations
+
+from repro.core.config import TierSpec
+from repro.core.errors import SimulationError
+from repro.core.units import PAGE_SIZE
+
+
+class MemoryTier:
+    """A memory device with capacity, latency, bandwidth, and usage counters.
+
+    The access-cost model is ``latency + bytes / effective_bandwidth``;
+    *effective* bandwidth shrinks when interfering streams share the device
+    (used by the Optane experiments, where a streaming co-runner contends
+    for a socket's memory bandwidth — §6.2).
+    """
+
+    def __init__(self, spec: TierSpec) -> None:
+        self.spec = spec
+        self.used_pages = 0
+        self.peak_pages = 0
+        self.total_allocs = 0
+        self.total_frees = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        #: Number of interfering bandwidth streams (0 = uncontended).
+        self.contention_streams = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.spec.capacity_pages
+
+    @property
+    def free_pages(self) -> int:
+        return self.spec.capacity_pages - self.used_pages
+
+    def has_room(self, npages: int = 1) -> bool:
+        return self.free_pages >= npages
+
+    def reserve(self, npages: int) -> None:
+        """Account ``npages`` as allocated; callers must check capacity."""
+        if npages < 0:
+            raise ValueError(f"negative reservation: {npages}")
+        if self.used_pages + npages > self.capacity_pages:
+            raise SimulationError(
+                f"tier {self.name} over-committed: "
+                f"{self.used_pages} + {npages} > {self.capacity_pages}"
+            )
+        self.used_pages += npages
+        self.total_allocs += npages
+        self.peak_pages = max(self.peak_pages, self.used_pages)
+
+    def release(self, npages: int) -> None:
+        if npages < 0:
+            raise ValueError(f"negative release: {npages}")
+        if npages > self.used_pages:
+            raise SimulationError(
+                f"tier {self.name} released more pages than in use: "
+                f"{npages} > {self.used_pages}"
+            )
+        self.used_pages -= npages
+        self.total_frees += npages
+
+    def access_cost_ns(self, nbytes: int, *, write: bool = False) -> int:
+        """Cost of moving ``nbytes`` to/from this device, with contention."""
+        if nbytes < 0:
+            raise ValueError(f"negative access size: {nbytes}")
+        if write:
+            latency = self.spec.write_latency_ns
+            bw = self.spec.write_bw_bytes_per_ns
+            self.bytes_written += nbytes
+        else:
+            latency = self.spec.read_latency_ns
+            bw = self.spec.read_bw_bytes_per_ns
+            self.bytes_read += nbytes
+        slowdown = 1 + self.contention_streams
+        return latency + int(nbytes * slowdown / bw)
+
+    def utilization(self) -> float:
+        return self.used_pages / self.capacity_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryTier({self.name}, {self.used_pages}/{self.capacity_pages} pages, "
+            f"{PAGE_SIZE}B each)"
+        )

@@ -1,0 +1,252 @@
+"""Memory topology: the set of tiers plus frame allocation/free/accounting.
+
+The topology is deliberately dumb about *policy*: callers (the kernel
+facade and the tiering policies) decide which tier to try first and what
+to do on pressure. The topology enforces capacity, tracks every live and
+retired frame, and keeps the per-(tier, owner) counters that the
+motivation and evaluation figures are built from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.errors import AllocationError, SimulationError
+from repro.core.config import TierSpec
+from repro.mem.frame import PageFrame, PageOwner
+from repro.mem.tier import MemoryTier
+
+
+class MemoryTopology:
+    """All memory tiers in a platform plus global frame bookkeeping."""
+
+    def __init__(self, tier_specs: Sequence[TierSpec]) -> None:
+        if not tier_specs:
+            raise ValueError("topology needs at least one tier")
+        self.tiers: Dict[str, MemoryTier] = {}
+        for spec in tier_specs:
+            if spec.name in self.tiers:
+                raise ValueError(f"duplicate tier name: {spec.name}")
+            self.tiers[spec.name] = MemoryTier(spec)
+        self._next_fid = 0
+        self.frames: Dict[int, PageFrame] = {}
+        #: Retired frames kept for lifetime analysis (Fig 2d). Bounded by
+        #: the workload's total allocation count.
+        self.retired: List[PageFrame] = []
+        # --- counters the figures are built from ---
+        #: pages ever allocated, keyed by (tier, owner)
+        self.alloc_count: Dict[tuple, int] = defaultdict(int)
+        #: live pages right now, keyed by (tier, owner)
+        self.live_count: Dict[tuple, int] = defaultdict(int)
+        #: pages migrated, keyed by (src_tier, dst_tier, owner)
+        self.migration_count: Dict[tuple, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # allocation / free
+    # ------------------------------------------------------------------
+
+    def allocate(
+        self,
+        npages: int,
+        tier_order: Sequence[str],
+        owner: PageOwner,
+        *,
+        node_id: int = 0,
+        obj_type: Optional[str] = None,
+        knode_id: Optional[int] = None,
+        relocatable: bool = True,
+        now_ns: int = 0,
+    ) -> List[PageFrame]:
+        """Allocate ``npages`` frames, trying tiers in ``tier_order``.
+
+        A single allocation may span tiers (the first tier takes what it
+        can, the rest spills to the next), mirroring a kernel falling back
+        across zones. Raises :class:`AllocationError` if the order is
+        exhausted — the kernel layer is expected to reclaim and retry.
+        """
+        if npages <= 0:
+            raise ValueError(f"allocation must be positive: {npages}")
+        placed: List[PageFrame] = []
+        remaining = npages
+        for tier_name in tier_order:
+            tier = self._tier(tier_name)
+            take = min(remaining, tier.free_pages)
+            for _ in range(take):
+                placed.append(
+                    self._make_frame(
+                        tier,
+                        owner,
+                        node_id=node_id,
+                        obj_type=obj_type,
+                        knode_id=knode_id,
+                        relocatable=relocatable,
+                        now_ns=now_ns,
+                    )
+                )
+            remaining -= take
+            if remaining == 0:
+                return placed
+        # Roll back the partial placement so failed allocations are atomic.
+        for frame in placed:
+            self.free(frame, now_ns=now_ns, retire=False)
+            self.frames.pop(frame.fid, None)
+        raise AllocationError(
+            f"cannot place {npages} pages (short {remaining}) in tiers {list(tier_order)}"
+        )
+
+    def try_allocate(
+        self, npages: int, tier_order: Sequence[str], owner: PageOwner, **kwargs
+    ) -> Optional[List[PageFrame]]:
+        """Like :meth:`allocate` but returns None instead of raising."""
+        try:
+            return self.allocate(npages, tier_order, owner, **kwargs)
+        except AllocationError:
+            return None
+
+    def _make_frame(
+        self,
+        tier: MemoryTier,
+        owner: PageOwner,
+        *,
+        node_id: int,
+        obj_type: Optional[str],
+        knode_id: Optional[int],
+        relocatable: bool,
+        now_ns: int,
+    ) -> PageFrame:
+        tier.reserve(1)
+        fid = self._next_fid
+        self._next_fid += 1
+        frame = PageFrame(
+            fid,
+            tier.name,
+            owner,
+            node_id=node_id,
+            obj_type=obj_type,
+            knode_id=knode_id,
+            relocatable=relocatable,
+            allocated_at=now_ns,
+        )
+        self.frames[fid] = frame
+        self.alloc_count[(tier.name, owner)] += 1
+        self.live_count[(tier.name, owner)] += 1
+        return frame
+
+    def free(self, frame: PageFrame, *, now_ns: int, retire: bool = True) -> None:
+        """Release a frame back to its tier.
+
+        ``retire=True`` stores the dead frame for lifetime analysis
+        (Fig 2d); internal rollbacks pass ``retire=False``.
+        """
+        if not frame.live:
+            raise SimulationError(f"double free of frame {frame.fid}")
+        tier = self._tier(frame.tier_name)
+        tier.release(1)
+        frame.freed_at = now_ns
+        self.live_count[(tier.name, frame.owner)] -= 1
+        del self.frames[frame.fid]
+        if retire:
+            self.retired.append(frame)
+
+    def free_all(self, frames: Iterable[PageFrame], *, now_ns: int) -> None:
+        for frame in list(frames):
+            if frame.live:
+                self.free(frame, now_ns=now_ns)
+
+    # ------------------------------------------------------------------
+    # migration accounting (the MigrationEngine drives this)
+    # ------------------------------------------------------------------
+
+    def move_frame(self, frame: PageFrame, dst_tier_name: str) -> None:
+        """Re-home a live frame onto another tier (capacity-checked)."""
+        if not frame.live:
+            raise SimulationError(f"cannot move freed frame {frame.fid}")
+        if frame.tier_name == dst_tier_name:
+            return
+        src = self._tier(frame.tier_name)
+        dst = self._tier(dst_tier_name)
+        if not dst.has_room(1):
+            raise SimulationError(f"tier {dst_tier_name} full; migrate-evict first")
+        src.release(1)
+        dst.reserve(1)
+        self.live_count[(src.name, frame.owner)] -= 1
+        self.live_count[(dst.name, frame.owner)] += 1
+        self.migration_count[(src.name, dst.name, frame.owner)] += 1
+        frame.tier_name = dst_tier_name
+        frame.record_migration()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _tier(self, name: str) -> MemoryTier:
+        try:
+            return self.tiers[name]
+        except KeyError:
+            raise SimulationError(f"unknown tier: {name!r}") from None
+
+    def tier(self, name: str) -> MemoryTier:
+        """Public tier lookup."""
+        return self._tier(name)
+
+    def live_pages(self, tier_name: Optional[str] = None) -> int:
+        if tier_name is None:
+            return len(self.frames)
+        return self.tiers[tier_name].used_pages
+
+    def kernel_pages_in(self, tier_name: str) -> int:
+        """Live kernel-object pages on one tier (everything but APP)."""
+        return sum(
+            count
+            for (tier, owner), count in self.live_count.items()
+            if tier == tier_name and owner.is_kernel
+        )
+
+    def live_pages_by_owner(self, owner: PageOwner) -> int:
+        return sum(
+            count for (tier, own), count in self.live_count.items() if own is owner
+        )
+
+    def allocated_pages_by_owner(self, owner: PageOwner) -> int:
+        return sum(
+            count for (tier, own), count in self.alloc_count.items() if own is owner
+        )
+
+    def total_allocated_pages(self) -> int:
+        return sum(self.alloc_count.values())
+
+    def migrations_between(self, src: str, dst: str) -> int:
+        return sum(
+            count
+            for (s, d, _own), count in self.migration_count.items()
+            if s == src and d == dst
+        )
+
+    def live_frames_in(self, tier_name: str) -> List[PageFrame]:
+        """Live frames on a tier (linear scan; used by scan-based policies,
+        whose *modeled* cost is charged separately via the LRU engine)."""
+        return [f for f in self.frames.values() if f.tier_name == tier_name]
+
+    def check_invariants(self) -> None:
+        """Cross-check counters against the frame table (used by tests)."""
+        per_tier: Dict[str, int] = defaultdict(int)
+        for frame in self.frames.values():
+            per_tier[frame.tier_name] += 1
+        for name, tier in self.tiers.items():
+            if per_tier[name] != tier.used_pages:
+                raise SimulationError(
+                    f"tier {name}: frame table has {per_tier[name]} frames, "
+                    f"counter says {tier.used_pages}"
+                )
+        live_total = sum(self.live_count.values())
+        if live_total != len(self.frames):
+            raise SimulationError(
+                f"live_count sum {live_total} != frame table {len(self.frames)}"
+            )
+
+    def __repr__(self) -> str:
+        tiers = ", ".join(
+            f"{t.name}:{t.used_pages}/{t.capacity_pages}" for t in self.tiers.values()
+        )
+        return f"MemoryTopology({tiers})"

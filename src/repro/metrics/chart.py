@@ -1,0 +1,89 @@
+"""Terminal bar charts for experiment reports.
+
+The paper's figures are grouped bar charts; these helpers render the
+same data as aligned unicode bars so example scripts and the CLI can
+show the *shape* directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+FULL = "█"
+PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render ``value`` as a bar of at most ``width`` cells."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    whole = int(cells)
+    remainder = int((cells - whole) * 8)
+    bar = FULL * min(whole, width)
+    if whole < width and remainder:
+        bar += PARTIAL[remainder]
+    return bar
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """One bar per (label, value), scaled to the max value."""
+    if not values:
+        raise ValueError("nothing to chart")
+    label_width = max(len(label) for label in values)
+    scale = max(values.values())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        lines.append(
+            f"{label.ljust(label_width)} {_bar(value, scale, width)} "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    title: str = "",
+    width: int = 32,
+    unit: str = "x",
+) -> str:
+    """Figure-4-style chart: one block per group (workload), one bar per
+    series (policy), all sharing one scale."""
+    if not groups:
+        raise ValueError("nothing to chart")
+    scale = max(v for series in groups.values() for v in series.values())
+    label_width = max(len(k) for series in groups.values() for k in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group, series in groups.items():
+        lines.append(f"-- {group} --")
+        for label, value in series.items():
+            lines.append(
+                f"  {label.ljust(label_width)} "
+                f"{_bar(value, scale, width)} {value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: Optional[int] = None) -> str:
+    """Compact trend line (e.g. throughput over a parameter sweep)."""
+    if not values:
+        raise ValueError("nothing to chart")
+    ticks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    picked = list(values)
+    if width is not None and len(picked) > width:
+        step = len(picked) / width
+        picked = [picked[int(i * step)] for i in range(width)]
+    return "".join(ticks[int((v - lo) / span * (len(ticks) - 1))] for v in picked)

@@ -1,0 +1,40 @@
+"""skbuff: the packet buffer pair (header + data).
+
+Table 1 lists three network buffer objects: *skbuff* (the header),
+*skbuff->data* (the payload buffer), and *rx buf* (the driver receive
+buffer that, on ingress, becomes the payload). §4.2.3's key mechanism
+lives here too: the paper extends skbuff with an **8-byte socket field**
+filled in by the device driver, so higher TCP layers never re-extract the
+socket — ``sock_hint`` models that field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.alloc.base import KernelObject
+
+#: Ethernet MTU payload the simulator moves per packet.
+MTU_BYTES = 1500
+
+
+@dataclass
+class SKBuff:
+    """One packet in flight: header object + data object."""
+
+    header: KernelObject
+    data: KernelObject
+    nbytes: int
+    #: §4.2.3: socket information extracted in the device driver and
+    #: carried up the stack (None when KLOC early demux is disabled).
+    sock_hint: Optional[int] = None
+    ingress: bool = True
+
+    @property
+    def live(self) -> bool:
+        return self.header.live and self.data.live
+
+    def __repr__(self) -> str:
+        way = "rx" if self.ingress else "tx"
+        return f"SKBuff({way}, {self.nbytes}B, sock_hint={self.sock_hint})"

@@ -1,0 +1,77 @@
+"""Tiering policies — Table 5's strategies, for both platforms.
+
+Two-tier platform:
+
+* :class:`AllFastMem` / :class:`AllSlowMem` — the ideal and pessimistic bounds.
+* :class:`NaivePolicy` — greedy first-come-first-served, no migration.
+* :class:`NimblePolicy` — application-page tiering with scan-based hotness
+  and parallel page copy (Yan et al., ASPLOS'19); kernel objects pinned in
+  slow memory.
+* :class:`NimblePlusPlusPolicy` — Nimble's scan machinery extended to
+  kernel objects, *without* the KLOC abstraction.
+* :class:`KlocsPolicy` / :class:`KlocsNoMigrationPolicy` — the paper's
+  contribution, with and without kernel-object migration.
+
+Optane Memory Mode platform:
+
+* :class:`NumaAllLocal` / :class:`NumaAllRemote` — bounds.
+* :class:`AutoNumaPolicy` — application pages follow the task's socket.
+* :class:`NumaNimblePolicy` — AutoNUMA with parallel page copy.
+* :class:`NumaKlocsPolicy` — AutoNUMA + kernel-object migration via KLOCs.
+"""
+
+from repro.policies.autonuma import (
+    AutoNumaPolicy,
+    NumaAllLocal,
+    NumaAllRemote,
+    NumaKlocsPolicy,
+    NumaNimblePolicy,
+)
+from repro.policies.base import TieringPolicy
+from repro.policies.klocs import (
+    KlocsFineGrainedPolicy,
+    KlocsNoMigrationPolicy,
+    KlocsPolicy,
+)
+from repro.policies.lru_engine import LRUScanEngine
+from repro.policies.nimble import NimblePlusPlusPolicy, NimblePolicy
+from repro.policies.simple import AllFastMem, AllSlowMem, NaivePolicy
+
+__all__ = [
+    "TieringPolicy",
+    "LRUScanEngine",
+    "AllFastMem",
+    "AllSlowMem",
+    "NaivePolicy",
+    "NimblePolicy",
+    "NimblePlusPlusPolicy",
+    "KlocsPolicy",
+    "KlocsNoMigrationPolicy",
+    "KlocsFineGrainedPolicy",
+    "AutoNumaPolicy",
+    "NumaNimblePolicy",
+    "NumaKlocsPolicy",
+    "NumaAllLocal",
+    "NumaAllRemote",
+]
+
+#: Name → class registry used by the experiment harness.
+TWO_TIER_POLICIES = {
+    "all_fast": AllFastMem,
+    "all_slow": AllSlowMem,
+    "naive": NaivePolicy,
+    "nimble": NimblePolicy,
+    "nimble++": NimblePlusPlusPolicy,
+    "klocs_nomigration": KlocsNoMigrationPolicy,
+    "klocs": KlocsPolicy,
+    # §4.4 future-work extension, not part of the paper's Fig 4 bar set.
+    "klocs_fine": KlocsFineGrainedPolicy,
+}
+
+OPTANE_POLICIES = {
+    "all_local": NumaAllLocal,
+    "all_remote": NumaAllRemote,
+    "autonuma": AutoNumaPolicy,
+    "nimble": NumaNimblePolicy,
+    "klocs": NumaKlocsPolicy,
+}

@@ -1,0 +1,222 @@
+"""The KLOCs policies (Table 5) — the paper's contribution.
+
+Both variants keep Nimble's application-page machinery (Table 5: "Original
+Nimble policies to identify hot application pages") and add KLOC
+tracking: kernel objects of *active* knodes are allocated directly into
+fast memory, objects of inactive knodes into slow memory (§3.2
+implication one / §4.2.2).
+
+:class:`KlocsPolicy` additionally migrates kernel objects:
+
+* the instant a knode goes inactive, its whole subtree is downgraded
+  ("we immediately mark and migrate the kernel page objects they are
+  associated with, without waiting for scans" — §4.5);
+* the asynchronous daemon ages open-but-idle knodes and pulls reopened
+  knodes' objects back up (§4.4);
+* ping-ponging pages are pinned in fast memory via the 8-bit counters
+  (§4.5).
+
+:class:`KlocsNoMigrationPolicy` is Fig 4's *KLOCs-nomigration* bar:
+direct allocation only — inactive objects stay wherever they are until
+freed, shrinking the fast memory available to active knodes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.objtypes import KernelObjectType
+from repro.mem.frame import PageOwner
+from repro.policies.base import TieringPolicy
+from repro.policies.lru_engine import LRUScanEngine
+
+#: §4.5: pages migrated this many times get retained in fast memory.
+PINGPONG_PIN_THRESHOLD = 4
+
+#: Object types whose lifetimes are far below the migration/reclaim
+#: timescale (Fig 2d's shortest-lived classes): they are freed before
+#: they could ever pollute fast memory, so direct allocation always
+#: places them fast — §3.2 implication one, without the share cap.
+TRANSIENT_TYPES = frozenset(
+    {
+        KernelObjectType.BLOCK,
+        KernelObjectType.BLK_MQ,
+        KernelObjectType.SKBUFF,
+        KernelObjectType.SKBUFF_DATA,
+        KernelObjectType.RX_BUF,
+        KernelObjectType.JOURNAL,
+    }
+)
+
+
+class KlocsNoMigrationPolicy(TieringPolicy):
+    """Direct allocation by knode activity; no kernel-object migration."""
+
+    name = "klocs_nomigration"
+    uses_kloc = True
+    uses_kloc_interface = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lru: LRUScanEngine = None  # type: ignore[assignment]
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        # Promotion covers kernel pages too — KLOCs make referenced slow
+        # kernel pages identifiable and (via the KLOC allocation interface)
+        # relocatable; demotion of kernel objects is handled by knode
+        # events, so the scan only demotes application pages.
+        self.lru = LRUScanEngine(
+            kernel,
+            spec=kernel.platform.lru,
+            promote_owners=None,
+            demote_owners={PageOwner.APP},
+        )
+
+    def start_daemons(self) -> None:
+        self.lru.start()
+
+    def tier_order_app(self, *, cpu: int = 0) -> List[str]:
+        # §4.2.2: "KLOCs prioritize application pages to reduce their
+        # placement in slower memory".
+        return ["fast", "slow"]
+
+    def tier_order_kernel(self, otype, inode, *, covered: bool, cpu: int = 0) -> List[str]:
+        if not covered:
+            return ["fast", "slow"]
+        if inode is None or otype in TRANSIENT_TYPES:
+            # Transient objects (bios, blk-mq requests, packet buffers,
+            # journal records) live microseconds-to-sub-ms and are
+            # referenced immediately — always hot at allocation, gone
+            # before pollution is possible.
+            return ["fast", "slow"]
+        if self._knode_active(inode, cpu=cpu) and not self._kernel_share_full():
+            return ["fast", "slow"]
+        return ["slow", "fast"]
+
+    #: Headroom kept available for application promotions beyond the
+    #: app's current fast-tier residency.
+    APP_GROWTH_MARGIN = 256
+
+    def _kernel_share_full(self) -> bool:
+        """sys_kloc_memsize()-style cap with demand-based app priority.
+
+        Application pages are entitled to (1 - fast_capacity_fraction) of
+        fast memory (§4.2.2: "KLOCs prioritize application pages"), but
+        entitlement the app is not using — beyond a growth margin — is
+        lendable to kernel objects, so app-light workloads (Filebench)
+        still fill fast memory with kernel data.
+        """
+        from repro.mem.frame import PageOwner
+
+        topo = self.kernel.topology
+        fast = topo.tier("fast")
+        cap = fast.capacity_pages
+        frac = self.kernel.platform.kloc.fast_capacity_fraction
+        app_fast = topo.live_count.get(("fast", PageOwner.APP), 0)
+        app_entitlement = min(int(cap * (1 - frac)), app_fast + self.APP_GROWTH_MARGIN)
+        budget = cap - app_entitlement
+        return topo.kernel_pages_in("fast") >= budget
+
+    def _knode_active(self, inode, *, cpu: int) -> bool:
+        if inode is None:
+            return False
+        manager = self.kernel.kloc_manager
+        if manager is None or inode.knode_id is None:
+            return False
+        knode = manager.knode_for_inode(inode, cpu=cpu)
+        return knode is not None and knode.inuse
+
+
+class KlocsPolicy(KlocsNoMigrationPolicy):
+    """Full KLOCs: direct allocation plus en-masse kernel-object migration."""
+
+    name = "klocs"
+    migrates_kernel_objects = True
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        # Table 5: KLOCs keeps the "original Nimble policies" — full
+        # page-granularity LRU over application AND kernel pages — and
+        # layers the knode short-circuits (immediate close-downgrades,
+        # en-masse cold-knode sweeps) on top.
+        self.lru = LRUScanEngine(
+            kernel,
+            spec=kernel.platform.lru,
+            promote_owners=None,
+            demote_owners=None,
+        )
+
+    def start_daemons(self) -> None:
+        super().start_daemons()
+        daemon = self.kernel.kloc_daemon
+        if daemon is not None:
+            daemon.start()
+
+    def on_knode_inactive(self, knode) -> None:
+        """Mark the knode definitely-cold — the short-circuit that defines
+        KLOCs: no scan is needed to identify every object it owns.
+
+        The migration itself is asynchronous (§5's dedicated kernel
+        threads): the daemon's next pass downgrades marked knodes first,
+        under memory pressure. Deferring one tick also means a file that
+        is closed and immediately unlinked frees its objects rather than
+        migrating them (§3.2: deleted objects "should not be migrated").
+        """
+        daemon = self.kernel.kloc_daemon
+        if daemon is not None:
+            daemon.mark_cold(knode)
+
+    #: Pages pulled up eagerly when a knode reactivates; the rest come up
+    #: page-by-page through the promote scan as they are referenced.
+    REACTIVATE_UPGRADE_LIMIT = 4
+
+    def on_knode_active(self, knode) -> None:
+        """Reopened file/socket: retrieve its hottest objects eagerly."""
+        daemon = self.kernel.kloc_daemon
+        if daemon is None:
+            return
+        daemon.unmark(knode.knode_id)  # reopened before the daemon ran
+        daemon.upgrade_knode(knode, limit=self.REACTIVATE_UPGRADE_LIMIT)
+        for frame in daemon.knode_frames(knode):
+            if frame.migrations >= PINGPONG_PIN_THRESHOLD:
+                frame.pinned_fast = True
+
+    def on_prefetch(self, inode, npages: int) -> None:
+        """§4.4: the readahead path exposes kernel objects to the
+        prefetcher — pull the inode's knode up alongside its data."""
+        manager = self.kernel.kloc_manager
+        daemon = self.kernel.kloc_daemon
+        if manager is None or daemon is None or inode.knode_id is None:
+            return
+        knode = manager.knode_for_inode(inode)
+        if knode is not None and knode.inuse:
+            daemon.upgrade_knode(knode, limit=16)
+
+
+class KlocsFineGrainedPolicy(KlocsPolicy):
+    """§4.4's future-work variant: per-object (per-page) tracking.
+
+    "Our future work will explore the benefits of employing a fine-grained
+    kernel object tracking approach" — this policy keeps the KLOC
+    allocation interface and activity-based direct allocation but drops
+    the inode-granularity *migration* short-circuits: kernel pages move
+    only via the page-granularity LRU, individually. Comparing it against
+    :class:`KlocsPolicy` quantifies what the en-masse knode sweeps buy
+    (see benchmarks/bench_ablation_granularity.py).
+    """
+
+    name = "klocs_fine"
+
+    def start_daemons(self) -> None:
+        # Page-granularity scanning only — no knode migration daemon.
+        self.lru.start()
+
+    def on_knode_inactive(self, knode) -> None:
+        """No en-masse downgrade: cold pages age out one by one."""
+
+    def on_knode_active(self, knode) -> None:
+        """No en-masse upgrade: hot pages promote one by one."""
+
+    def on_prefetch(self, inode, npages: int) -> None:
+        """No knode-level prefetch piggyback."""

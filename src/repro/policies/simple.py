@@ -1,0 +1,53 @@
+"""Bound and baseline policies: All-Fast, All-Slow, Naive (Table 5)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.policies.base import TieringPolicy
+
+
+class AllFastMem(TieringPolicy):
+    """Ideal bound: every page — application and kernel — in fast memory.
+
+    Experiments pair this with a fast tier sized to hold the workload, as
+    the paper does for its *All Fast Mem* reference."""
+
+    name = "all_fast"
+
+    def tier_order_app(self, *, cpu: int = 0) -> List[str]:
+        return ["fast", "slow"]
+
+    def tier_order_kernel(self, otype, inode, *, covered: bool, cpu: int = 0) -> List[str]:
+        return ["fast", "slow"]
+
+
+class AllSlowMem(TieringPolicy):
+    """Pessimistic bound: everything in slow memory (the Fig 4 baseline)."""
+
+    name = "all_slow"
+
+    def tier_order_app(self, *, cpu: int = 0) -> List[str]:
+        return ["slow"]
+
+    def tier_order_kernel(self, otype, inode, *, covered: bool, cpu: int = 0) -> List[str]:
+        return ["slow"]
+
+
+class NaivePolicy(TieringPolicy):
+    """Greedy FCFS (Table 5's *Naive*).
+
+    Fast memory fills first-come-first-served with whatever allocates —
+    hot or cold, kernel or application. Nothing ever migrates, so fast
+    memory only becomes available again when resident data is freed. Cold
+    files therefore pollute fast memory for their entire lifetime, the
+    pathology Fig 4 quantifies.
+    """
+
+    name = "naive"
+
+    def tier_order_app(self, *, cpu: int = 0) -> List[str]:
+        return ["fast", "slow"]
+
+    def tier_order_kernel(self, otype, inode, *, covered: bool, cpu: int = 0) -> List[str]:
+        return ["fast", "slow"]

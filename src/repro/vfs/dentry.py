@@ -1,0 +1,81 @@
+"""Dentry cache: path → inode name resolution.
+
+Dentries are Table 1 slab objects ("dentry — name resolution for each
+file"); §3.3 lists them among the short-lived structures "frequently
+queried, allocated, and deleted". The cache keeps one dentry per path and
+shrinks from the LRU tail under pressure, which is where dentry churn
+comes from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.alloc.base import KernelObject
+from repro.core.errors import VFSError
+from repro.vfs.inode import Inode
+
+
+class Dentry:
+    """One name-resolution entry."""
+
+    __slots__ = ("path", "inode", "backing")
+
+    def __init__(self, path: str, inode: Inode, backing: KernelObject) -> None:
+        self.path = path
+        self.inode = inode
+        #: The DENTRY kernel object holding this entry.
+        self.backing = backing
+
+    def __repr__(self) -> str:
+        return f"Dentry({self.path!r} -> ino {self.inode.ino})"
+
+
+class DentryCache:
+    """LRU-ordered path → dentry map with a configurable capacity."""
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"dentry cache needs capacity: {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Dentry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, path: str) -> Optional[Dentry]:
+        dentry = self._entries.get(path)
+        if dentry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(path)
+        self.hits += 1
+        return dentry
+
+    def insert(self, dentry: Dentry) -> List[Dentry]:
+        """Add a dentry; returns any entries shrunk off the LRU tail (the
+        caller must free their backing slab objects)."""
+        if dentry.path in self._entries:
+            raise VFSError(f"dentry exists: {dentry.path}")
+        self._entries[dentry.path] = dentry
+        evicted: List[Dentry] = []
+        while len(self._entries) > self.max_entries:
+            _, old = self._entries.popitem(last=False)
+            evicted.append(old)
+        return evicted
+
+    def remove(self, path: str) -> Optional[Dentry]:
+        return self._entries.pop(path, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._entries
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"DentryCache({len(self)}/{self.max_entries})"

@@ -1,0 +1,42 @@
+"""Workload models (Table 3): behavioural drivers that issue the same
+kernel-visible operation streams as the paper's benchmarks, scaled down.
+
+Each workload reproduces its application's *kernel-object signature*: the
+file/socket churn, the object mix (Fig 2a), the app-vs-kernel reference
+split (Fig 2c), and the activity phases the tiering policies exploit.
+"""
+
+from repro.workloads.base import Workload, WorkloadConfig, WorkloadResult
+from repro.workloads.cassandra import CassandraWorkload
+from repro.workloads.filebench import FilebenchWorkload
+from repro.workloads.interference import StreamingInterferer
+from repro.workloads.keydist import UniformKeys, ZipfKeys
+from repro.workloads.redis import RedisWorkload
+from repro.workloads.rocksdb import RocksDBWorkload
+from repro.workloads.spark import SparkWorkload
+from repro.workloads.ycsb import YCSBGenerator, YCSBOp
+
+__all__ = [
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "RocksDBWorkload",
+    "RedisWorkload",
+    "FilebenchWorkload",
+    "CassandraWorkload",
+    "SparkWorkload",
+    "StreamingInterferer",
+    "ZipfKeys",
+    "UniformKeys",
+    "YCSBGenerator",
+    "YCSBOp",
+]
+
+#: Name → class registry used by the experiment harness.
+WORKLOADS = {
+    "rocksdb": RocksDBWorkload,
+    "redis": RedisWorkload,
+    "filebench": FilebenchWorkload,
+    "cassandra": CassandraWorkload,
+    "spark": SparkWorkload,
+}

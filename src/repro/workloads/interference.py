@@ -1,0 +1,73 @@
+"""Streaming interferer for the Optane experiments.
+
+§6.2: "workloads are run concurrently with another workload that streams
+through memory and hence interferes with our workload on one of the
+sockets. When interference begins to harm performance, AutoNUMA migrates
+the workload of interest to another socket."
+
+The interferer contends for one node's memory bandwidth (raising its
+``contention_streams``) and pins down part of its capacity with a
+streaming buffer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.core.errors import SimulationError
+from repro.mem.frame import PageFrame, PageOwner
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+
+
+class StreamingInterferer:
+    """Bandwidth hog pinned to one NUMA node."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        tier_name: str,
+        *,
+        streams: int = 2,
+        footprint_pages: int = 0,
+    ) -> None:
+        if streams <= 0:
+            raise ValueError(f"need at least one stream: {streams}")
+        self.kernel = kernel
+        self.tier_name = tier_name
+        self.streams = streams
+        self.footprint_pages = footprint_pages
+        self._frames: List[PageFrame] = []
+        self.active = False
+
+    def start(self) -> None:
+        """Begin streaming: bandwidth contention + resident footprint."""
+        if self.active:
+            raise SimulationError("interferer already running")
+        tier = self.kernel.topology.tier(self.tier_name)
+        tier.contention_streams += self.streams
+        if self.footprint_pages:
+            take = min(self.footprint_pages, tier.free_pages)
+            if take:
+                self._frames = self.kernel.topology.allocate(
+                    take,
+                    [self.tier_name],
+                    PageOwner.APP,
+                    obj_type="interferer",
+                    now_ns=self.kernel.clock.now(),
+                )
+        self.active = True
+
+    def stop(self) -> None:
+        if not self.active:
+            raise SimulationError("interferer not running")
+        tier = self.kernel.topology.tier(self.tier_name)
+        tier.contention_streams -= self.streams
+        self.kernel.topology.free_all(self._frames, now_ns=self.kernel.clock.now())
+        self._frames = []
+        self.active = False
+
+    def __repr__(self) -> str:
+        state = "on" if self.active else "off"
+        return f"StreamingInterferer({self.tier_name}, {self.streams} streams, {state})"

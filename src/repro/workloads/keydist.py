@@ -1,0 +1,33 @@
+"""Key distributions for KV workloads: Zipfian (YCSB-style) and uniform."""
+
+from __future__ import annotations
+
+from repro.core.rng import DeterministicRNG
+
+
+class ZipfKeys:
+    """Skewed key chooser — the default YCSB request distribution."""
+
+    def __init__(self, rng: DeterministicRNG, universe: int, theta: float = 0.99) -> None:
+        if universe <= 0:
+            raise ValueError(f"key universe must be positive: {universe}")
+        self.rng = rng
+        self.universe = universe
+        self.theta = theta
+
+    def next_key(self) -> int:
+        key = self.rng.zipf(self.universe, self.theta)
+        return min(key, self.universe - 1)
+
+
+class UniformKeys:
+    """Uniform key chooser (dbbench's random mode)."""
+
+    def __init__(self, rng: DeterministicRNG, universe: int) -> None:
+        if universe <= 0:
+            raise ValueError(f"key universe must be positive: {universe}")
+        self.rng = rng
+        self.universe = universe
+
+    def next_key(self) -> int:
+        return self.rng.randint(0, self.universe - 1)

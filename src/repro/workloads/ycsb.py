@@ -1,0 +1,47 @@
+"""YCSB-style operation generator (Cooper et al., SoCC'10).
+
+Produces (op, key) streams with a configurable read/write mix and
+Zipfian key skew — the generator behind the paper's Cassandra runs
+(YCSB, 16 threads, 50% read-write) and reusable for any KV workload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.rng import DeterministicRNG
+from repro.workloads.keydist import ZipfKeys
+
+
+class YCSBOp(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class YCSBRequest:
+    op: YCSBOp
+    key: int
+
+
+class YCSBGenerator:
+    """Endless stream of YCSB requests."""
+
+    def __init__(
+        self,
+        rng: DeterministicRNG,
+        *,
+        num_keys: int,
+        read_fraction: float = 0.5,
+        theta: float = 0.99,
+    ) -> None:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(f"read fraction out of range: {read_fraction}")
+        self.rng = rng
+        self.keys = ZipfKeys(rng, num_keys, theta)
+        self.read_fraction = read_fraction
+
+    def next_request(self) -> YCSBRequest:
+        op = YCSBOp.READ if self.rng.random() < self.read_fraction else YCSBOp.UPDATE
+        return YCSBRequest(op, self.keys.next_key())

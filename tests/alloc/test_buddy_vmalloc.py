@@ -1,0 +1,128 @@
+"""Tests for the page allocator and vmalloc."""
+
+import pytest
+
+from repro.core.clock import Clock
+from repro.core.config import fast_dram_spec, slow_dram_spec
+from repro.core.errors import SimulationError
+from repro.core.objtypes import KernelObjectType
+from repro.core.units import MB, PAGE_SIZE
+from repro.alloc.buddy import PageAllocator
+from repro.alloc.vmalloc import VmallocAllocator
+from repro.mem.frame import PageOwner
+from repro.mem.topology import MemoryTopology
+
+
+@pytest.fixture
+def topo():
+    return MemoryTopology(
+        [fast_dram_spec(capacity_bytes=2 * MB), slow_dram_spec(capacity_bytes=8 * MB)]
+    )
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+class TestPageAllocator:
+    def test_alloc_frames_relocatable(self, topo, clock):
+        pa = PageAllocator(topo, clock)
+        frames = pa.alloc_frames(4, ["fast"], PageOwner.APP)
+        assert len(frames) == 4
+        assert all(f.relocatable for f in frames)
+
+    def test_alloc_object_owns_frame(self, topo, clock):
+        pa = PageAllocator(topo, clock)
+        obj = pa.alloc_object(KernelObjectType.PAGE_CACHE, ["fast"], knode_id=3)
+        assert obj.frame.owner is PageOwner.PAGE_CACHE
+        assert obj.frame.knode_id == 3
+        assert obj.frame.relocatable
+
+    def test_free_object(self, topo, clock):
+        pa = PageAllocator(topo, clock)
+        obj = pa.alloc_object(KernelObjectType.JOURNAL, ["fast"])
+        pa.free_object(obj)
+        assert not obj.live
+        assert topo.tier("fast").used_pages == 0
+
+    def test_double_free_object_rejected(self, topo, clock):
+        pa = PageAllocator(topo, clock)
+        obj = pa.alloc_object(KernelObjectType.JOURNAL, ["fast"])
+        pa.free_object(obj)
+        with pytest.raises(SimulationError):
+            pa.free_object(obj)
+
+    def test_free_frames(self, topo, clock):
+        pa = PageAllocator(topo, clock)
+        frames = pa.alloc_frames(4, ["fast"], PageOwner.APP)
+        pa.free_frames(frames)
+        assert topo.tier("fast").used_pages == 0
+
+    def test_order_histogram(self, topo, clock):
+        pa = PageAllocator(topo, clock)
+        pa.alloc_frames(1, ["fast"], PageOwner.APP)
+        pa.alloc_frames(8, ["fast"], PageOwner.APP)
+        assert pa.order_histogram[0] == 1
+        assert pa.order_histogram[3] == 1
+
+    def test_spill_to_slow(self, topo, clock):
+        pa = PageAllocator(topo, clock)
+        cap = topo.tier("fast").capacity_pages
+        frames = pa.alloc_frames(cap + 2, ["fast", "slow"], PageOwner.APP)
+        assert sum(1 for f in frames if f.tier_name == "slow") == 2
+
+    def test_clock_charged(self, topo, clock):
+        pa = PageAllocator(topo, clock)
+        pa.alloc_frames(2, ["fast"], PageOwner.APP)
+        assert clock.now() > 0
+
+
+class TestVmalloc:
+    def test_area_spans_pages(self, topo, clock):
+        vm = VmallocAllocator(topo, clock)
+        area = vm.alloc(3 * PAGE_SIZE + 1, ["fast"])
+        assert area.npages == 4
+        assert area.live
+
+    def test_relocatable_frames(self, topo, clock):
+        vm = VmallocAllocator(topo, clock)
+        area = vm.alloc(PAGE_SIZE, ["fast"])
+        assert all(f.relocatable for f in area.frames)
+
+    def test_free_releases_everything(self, topo, clock):
+        vm = VmallocAllocator(topo, clock)
+        area = vm.alloc(4 * PAGE_SIZE, ["fast"])
+        vm.free(area)
+        assert not area.live
+        assert topo.tier("fast").used_pages == 0
+        assert vm.live_bytes() == 0
+
+    def test_double_free_rejected(self, topo, clock):
+        vm = VmallocAllocator(topo, clock)
+        area = vm.alloc(PAGE_SIZE, ["fast"])
+        vm.free(area)
+        with pytest.raises(SimulationError):
+            vm.free(area)
+
+    def test_zero_size_rejected(self, topo, clock):
+        vm = VmallocAllocator(topo, clock)
+        with pytest.raises(ValueError):
+            vm.alloc(0, ["fast"])
+
+    def test_vmalloc_slower_than_page_alloc(self, topo, clock):
+        """§3.3: vmalloc pays page-table setup per page."""
+        vm = VmallocAllocator(topo, clock)
+        t0 = clock.now()
+        vm.alloc(PAGE_SIZE, ["fast"])
+        vm_cost = clock.now() - t0
+        pa = PageAllocator(topo, clock)
+        t0 = clock.now()
+        pa.alloc_frames(1, ["fast"], PageOwner.APP)
+        pa_cost = clock.now() - t0
+        assert vm_cost > pa_cost
+
+    def test_live_bytes(self, topo, clock):
+        vm = VmallocAllocator(topo, clock)
+        vm.alloc(2 * PAGE_SIZE, ["fast"])
+        assert vm.live_bytes() == 2 * PAGE_SIZE

@@ -1,0 +1,125 @@
+"""Tests for the slab allocator."""
+
+import pytest
+
+from repro.core.clock import Clock
+from repro.core.config import fast_dram_spec, slow_dram_spec
+from repro.core.errors import SimulationError
+from repro.core.objtypes import KernelObjectType
+from repro.core.units import MB, PAGE_SIZE
+from repro.alloc.slab import SlabAllocator
+from repro.mem.topology import MemoryTopology
+
+
+@pytest.fixture
+def topo():
+    return MemoryTopology(
+        [fast_dram_spec(capacity_bytes=2 * MB), slow_dram_spec(capacity_bytes=8 * MB)]
+    )
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def slab(topo, clock):
+    return SlabAllocator(topo, clock)
+
+
+class TestPacking:
+    def test_small_objects_share_a_page(self, slab, topo):
+        per_page = PAGE_SIZE // KernelObjectType.DENTRY.size_bytes
+        objs = [
+            slab.alloc(KernelObjectType.DENTRY, ["fast"]) for _ in range(per_page)
+        ]
+        assert slab.live_pages() == 1
+        assert len({o.frame.fid for o in objs}) == 1
+
+    def test_overflow_grabs_new_page(self, slab):
+        per_page = PAGE_SIZE // KernelObjectType.DENTRY.size_bytes
+        for _ in range(per_page + 1):
+            slab.alloc(KernelObjectType.DENTRY, ["fast"])
+        assert slab.live_pages() == 2
+
+    def test_different_types_never_share_pages(self, slab):
+        a = slab.alloc(KernelObjectType.DENTRY, ["fast"])
+        b = slab.alloc(KernelObjectType.EXTENT, ["fast"])
+        assert a.frame.fid != b.frame.fid
+
+    def test_inode_packing_density(self, slab):
+        """1KB inodes → 4 per page."""
+        objs = [slab.alloc(KernelObjectType.INODE, ["fast"]) for _ in range(4)]
+        assert slab.live_pages() == 1
+        slab.alloc(KernelObjectType.INODE, ["fast"])
+        assert slab.live_pages() == 2
+        assert all(o.live for o in objs)
+
+
+class TestRelocatability:
+    def test_slab_pages_not_relocatable(self, slab):
+        obj = slab.alloc(KernelObjectType.DENTRY, ["fast"])
+        assert obj.frame.relocatable is False
+        assert obj.relocatable is False
+
+    def test_owner_attribution(self, slab):
+        obj = slab.alloc(KernelObjectType.BLOCK, ["fast"])
+        assert obj.frame.owner.value == "block_io"
+        obj2 = slab.alloc(KernelObjectType.DENTRY, ["fast"])
+        assert obj2.frame.owner.value == "slab"
+
+
+class TestFree:
+    def test_free_empties_page_back_to_pool(self, slab, topo):
+        obj = slab.alloc(KernelObjectType.INODE, ["fast"])
+        before = topo.tier("fast").used_pages
+        slab.free(obj)
+        assert topo.tier("fast").used_pages == before - 1
+        assert slab.live_pages() == 0
+
+    def test_partial_page_kept(self, slab):
+        a = slab.alloc(KernelObjectType.INODE, ["fast"])
+        b = slab.alloc(KernelObjectType.INODE, ["fast"])
+        slab.free(a)
+        assert slab.live_pages() == 1
+        assert b.live
+
+    def test_double_free_rejected(self, slab):
+        obj = slab.alloc(KernelObjectType.INODE, ["fast"])
+        slab.free(obj)
+        with pytest.raises(SimulationError):
+            slab.free(obj)
+
+    def test_full_page_returns_to_partial_on_free(self, slab):
+        objs = [slab.alloc(KernelObjectType.INODE, ["fast"]) for _ in range(4)]
+        slab.free(objs[0])
+        # Next alloc reuses the now-partial page instead of a new one.
+        slab.alloc(KernelObjectType.INODE, ["fast"])
+        assert slab.live_pages() == 1
+
+    def test_lifetime_recorded(self, slab, clock):
+        obj = slab.alloc(KernelObjectType.DENTRY, ["fast"])
+        clock.advance(1000)
+        slab.free(obj)
+        mean = slab.stats.lifetimes.mean_ns(KernelObjectType.DENTRY)
+        assert mean is not None and mean >= 1000
+
+
+class TestCosts:
+    def test_alloc_charges_clock(self, slab, clock):
+        before = clock.now()
+        slab.alloc(KernelObjectType.DENTRY, ["fast"])
+        assert clock.now() > before
+
+    def test_knode_tag_propagates(self, slab):
+        obj = slab.alloc(KernelObjectType.DENTRY, ["fast"], knode_id=17)
+        assert obj.knode_id == 17
+
+    def test_stats_counters(self, slab):
+        objs = [slab.alloc(KernelObjectType.EXTENT, ["fast"]) for _ in range(3)]
+        for o in objs:
+            slab.free(o)
+        assert slab.stats.allocs == 3
+        assert slab.stats.frees == 3
+        assert slab.stats.live_objects == 0

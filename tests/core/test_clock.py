@@ -1,0 +1,110 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.core.clock import Clock
+from repro.core.units import MS, SEC, US
+
+
+class TestClockBasics:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0
+
+    def test_custom_start(self):
+        assert Clock(start_ns=500).now() == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(start_ns=-1)
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now() == 15
+
+    def test_advance_returns_new_time(self):
+        clock = Clock()
+        assert clock.advance(7) == 7
+
+    def test_zero_advance_allowed(self):
+        clock = Clock()
+        clock.advance(0)
+        assert clock.now() == 0
+
+    def test_negative_advance_rejected(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_now_seconds(self):
+        clock = Clock()
+        clock.advance(2 * SEC + 500 * MS)
+        assert clock.now_seconds() == pytest.approx(2.5)
+
+    def test_repr_mentions_time(self):
+        assert "now=0" in repr(Clock())
+
+
+class TestPeriodicCallbacks:
+    def test_fires_once_per_period(self):
+        clock = Clock()
+        fires = []
+        clock.schedule_periodic(100, fires.append)
+        clock.advance(99)
+        assert fires == []
+        clock.advance(1)
+        assert fires == [100]
+
+    def test_coalesces_missed_ticks(self):
+        """A huge jump fires the callback once, not once per missed period."""
+        clock = Clock()
+        fires = []
+        clock.schedule_periodic(10, fires.append)
+        clock.advance(1000)
+        assert len(fires) == 1
+
+    def test_next_deadline_after_coalesce(self):
+        clock = Clock()
+        fires = []
+        clock.schedule_periodic(10, fires.append)
+        clock.advance(25)  # fires at 25, next deadline 30
+        clock.advance(5)  # fires at 30
+        assert len(fires) == 2
+
+    def test_multiple_daemons_independent(self):
+        clock = Clock()
+        a, b = [], []
+        clock.schedule_periodic(10, a.append)
+        clock.schedule_periodic(25, b.append)
+        clock.advance(30)
+        assert len(a) == 1  # coalesced
+        assert len(b) == 1
+
+    def test_phase_offsets_first_firing(self):
+        clock = Clock()
+        fires = []
+        clock.schedule_periodic(10, fires.append, phase_ns=5)
+        clock.advance(14)
+        assert fires == []
+        clock.advance(1)
+        assert fires == [15]
+
+    def test_invalid_period_rejected(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.schedule_periodic(0, lambda t: None)
+
+    def test_callback_may_advance_clock(self):
+        """Daemons cost virtual time themselves; no infinite recursion."""
+        clock = Clock()
+        fires = []
+
+        def daemon(now):
+            fires.append(now)
+            clock.advance(3 * US)  # the daemon's own work
+
+        clock.schedule_periodic(1 * MS, daemon)
+        clock.advance(1 * MS)
+        assert len(fires) == 1
+        assert clock.now() == 1 * MS + 3 * US

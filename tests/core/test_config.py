@@ -1,0 +1,105 @@
+"""Tests for configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import (
+    KLOCSpec,
+    LRUSpec,
+    MigrationSpec,
+    PlatformSpec,
+    StorageSpec,
+    TierSpec,
+    fast_dram_spec,
+    pmem_spec,
+    slow_dram_spec,
+    two_tier_platform_spec,
+)
+from repro.core.errors import ConfigError
+from repro.core.units import GB, MB, PAGE_SIZE
+
+
+class TestTierSpec:
+    def test_capacity_pages(self):
+        spec = fast_dram_spec(capacity_bytes=8 * GB)
+        assert spec.capacity_pages == 8 * GB // PAGE_SIZE
+
+    def test_rejects_unaligned_capacity(self):
+        with pytest.raises(ConfigError):
+            TierSpec("x", PAGE_SIZE + 1, 10, 10, 1.0, 1.0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            TierSpec("x", 0, 10, 10, 1.0, 1.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            TierSpec("x", PAGE_SIZE, -1, 10, 1.0, 1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            TierSpec("x", PAGE_SIZE, 10, 10, 0.0, 1.0)
+
+    def test_frozen(self):
+        spec = fast_dram_spec()
+        with pytest.raises(AttributeError):
+            spec.capacity_bytes = 1
+
+
+class TestDeviceBands:
+    """§2's survey: the default specs must respect the paper's bands."""
+
+    def test_slow_tier_has_higher_read_latency(self):
+        fast, slow = fast_dram_spec(), slow_dram_spec()
+        assert 2 <= slow.read_latency_ns / fast.read_latency_ns <= 3
+
+    def test_slow_tier_write_latency_worse_than_read(self):
+        slow = slow_dram_spec()
+        assert slow.write_latency_ns > slow.read_latency_ns
+
+    def test_default_bandwidth_ratio_is_8(self):
+        fast, slow = fast_dram_spec(), slow_dram_spec()
+        assert fast.read_bw_bytes_per_ns / slow.read_bw_bytes_per_ns == pytest.approx(8)
+
+    def test_pmem_write_bandwidth_below_read(self):
+        spec = pmem_spec()
+        assert spec.write_bw_bytes_per_ns < spec.read_bw_bytes_per_ns
+
+
+class TestGuards:
+    def test_migration_threads_positive(self):
+        with pytest.raises(ConfigError):
+            MigrationSpec(copy_threads=0)
+
+    def test_lru_rate_positive(self):
+        with pytest.raises(ConfigError):
+            LRUSpec(scan_pages_per_second=0)
+
+    def test_kloc_fraction_range(self):
+        with pytest.raises(ConfigError):
+            KLOCSpec(fast_capacity_fraction=0.0)
+        with pytest.raises(ConfigError):
+            KLOCSpec(fast_capacity_fraction=1.5)
+
+    def test_storage_bandwidth_positive(self):
+        with pytest.raises(ConfigError):
+            StorageSpec(seq_bw_bytes_per_ns=0.0)
+
+    def test_platform_cpus_positive(self):
+        with pytest.raises(ConfigError):
+            PlatformSpec("x", fast_dram_spec(), slow_dram_spec(), num_cpus=0)
+
+
+class TestTwoTierFactory:
+    def test_default_slow_is_10x_fast(self):
+        spec = two_tier_platform_spec(fast_capacity_bytes=256 * MB)
+        assert spec.slow.capacity_bytes == 10 * 256 * MB
+
+    def test_bandwidth_ratio_applied(self):
+        spec = two_tier_platform_spec(bandwidth_ratio=4)
+        assert spec.fast.read_bw_bytes_per_ns / spec.slow.read_bw_bytes_per_ns == (
+            pytest.approx(4)
+        )
+
+    def test_name_encodes_config(self):
+        spec = two_tier_platform_spec(fast_capacity_bytes=128 * MB, bandwidth_ratio=2)
+        assert "128MB" in spec.name and "1:2" in spec.name

@@ -1,0 +1,58 @@
+"""Tests for the Table 1 kernel-object taxonomy."""
+
+from repro.core.objtypes import (
+    FIG5C_GROUPS,
+    AllocatorKind,
+    KernelObjectType,
+    Subsystem,
+)
+from repro.core.units import PAGE_SIZE
+from repro.mem.frame import PageOwner
+
+
+class TestTable1Coverage:
+    def test_all_eleven_table1_rows_present(self):
+        """Table 1 lists 11 structures (plus radix nodes from §3.1)."""
+        names = {t.name for t in KernelObjectType}
+        assert {
+            "INODE", "BLOCK", "JOURNAL", "PAGE_CACHE", "DENTRY", "EXTENT",
+            "BLK_MQ", "SOCK", "SKBUFF", "SKBUFF_DATA", "RX_BUF", "RADIX_NODE",
+        } == names
+
+    def test_inode_spans_both_subsystems(self):
+        assert KernelObjectType.INODE.subsystem is Subsystem.BOTH
+
+    def test_network_types(self):
+        for t in (KernelObjectType.SOCK, KernelObjectType.SKBUFF,
+                  KernelObjectType.SKBUFF_DATA, KernelObjectType.RX_BUF):
+            assert t.subsystem is Subsystem.NETWORK
+
+    def test_slab_family_flags(self):
+        assert KernelObjectType.DENTRY.is_slab
+        assert not KernelObjectType.PAGE_CACHE.is_slab
+        assert KernelObjectType.PAGE_CACHE.allocator is AllocatorKind.PAGE
+
+    def test_sizes_sane(self):
+        for t in KernelObjectType:
+            assert 0 < t.size_bytes <= PAGE_SIZE
+
+    def test_owner_mapping(self):
+        assert KernelObjectType.PAGE_CACHE.owner is PageOwner.PAGE_CACHE
+        assert KernelObjectType.JOURNAL.owner is PageOwner.JOURNAL
+        assert KernelObjectType.BLOCK.owner is PageOwner.BLOCK_IO
+        assert KernelObjectType.RX_BUF.owner is PageOwner.SOCKBUF
+        assert KernelObjectType.DENTRY.owner is PageOwner.SLAB
+
+
+class TestFig5cGroups:
+    def test_groups_partition_all_types(self):
+        grouped = [t for types in FIG5C_GROUPS.values() for t in types]
+        assert sorted(t.name for t in grouped) == sorted(
+            t.name for t in KernelObjectType
+        )
+        assert len(grouped) == len(set(grouped))
+
+    def test_paper_group_order(self):
+        assert list(FIG5C_GROUPS) == [
+            "page_cache", "journal", "slab", "sockbuf", "block_io"
+        ]

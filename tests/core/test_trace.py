@@ -1,0 +1,102 @@
+"""Tests for the tracing facility and its kernel wiring."""
+
+import pytest
+
+from repro.core.objtypes import KernelObjectType
+from repro.core.trace import TraceEvent, Tracer
+from repro.policies import KlocsPolicy
+from tests.kernel.test_kernel import make_kernel
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        assert tracer.emit(0, "alloc", "X") is False
+        assert len(tracer) == 0
+
+    def test_enable_category(self):
+        tracer = Tracer()
+        tracer.enable("alloc")
+        assert tracer.emit(5, "alloc", "DENTRY", tier="fast") is True
+        assert tracer.emit(6, "free", "DENTRY") is False
+        (event,) = tracer.query()
+        assert event.timestamp_ns == 5
+        assert event.get("tier") == "fast"
+        assert event.get("missing", 42) == 42
+
+    def test_wildcard(self):
+        tracer = Tracer()
+        tracer.enable("*")
+        assert tracer.emit(0, "anything", "x")
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(capacity=4)
+        tracer.enable("*")
+        for i in range(10):
+            tracer.emit(i, "c", "n")
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert [e.timestamp_ns for e in tracer.query()] == [6, 7, 8, 9]
+
+    def test_query_filters(self):
+        tracer = Tracer()
+        tracer.enable("*")
+        tracer.emit(1, "a", "x")
+        tracer.emit(2, "b", "x")
+        tracer.emit(3, "a", "y")
+        assert len(list(tracer.query(category="a"))) == 2
+        assert len(list(tracer.query(name="x"))) == 2
+        assert len(list(tracer.query(since_ns=3))) == 1
+
+    def test_counts_and_clear(self):
+        tracer = Tracer()
+        tracer.enable("*")
+        tracer.emit(0, "a", "x")
+        tracer.emit(0, "a", "x")
+        tracer.emit(0, "a", "y")
+        assert tracer.counts_by_name("a") == {"x": 2, "y": 1}
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_disable(self):
+        tracer = Tracer()
+        tracer.enable("a", "b")
+        tracer.disable("a")
+        assert not tracer.enabled("a")
+        assert tracer.enabled("b")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer().enable()
+
+    def test_event_repr(self):
+        event = TraceEvent(10, "alloc", "INODE", (("tier", "fast"),))
+        assert "alloc:INODE" in repr(event)
+        assert "tier=fast" in repr(event)
+
+
+class TestKernelWiring:
+    def test_alloc_free_knode_events(self):
+        kernel = make_kernel(KlocsPolicy())
+        tracer = Tracer()
+        tracer.enable("*")
+        kernel.tracer = tracer
+        fh = kernel.fs.create("/traced")
+        kernel.fs.write(fh, 0, 8192)
+        kernel.fs.close(fh)
+        kernel.fs.unlink("/traced")
+
+        allocs = tracer.counts_by_name("alloc")
+        assert allocs.get("INODE") == 1
+        assert allocs.get("PAGE_CACHE", 0) >= 2
+        assert any(e.name == "create" for e in tracer.query(category="knode"))
+        frees = tracer.counts_by_name("free")
+        assert frees.get("PAGE_CACHE", 0) >= 2
+
+    def test_tracing_off_changes_nothing(self):
+        kernel = make_kernel()
+        fh = kernel.fs.create("/x")
+        kernel.fs.write(fh, 0, 4096)  # no tracer set: must simply work
+        assert kernel.tracer is None

@@ -1,0 +1,68 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.core.units import (
+    GB,
+    KB,
+    MB,
+    MS,
+    PAGE_SIZE,
+    SEC,
+    US,
+    bytes_to_human,
+    ns_to_human,
+    pages_for,
+)
+
+
+class TestConstants:
+    def test_size_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_page_size_is_4kb(self):
+        assert PAGE_SIZE == 4096
+
+    def test_time_ladder(self):
+        assert US == 1000
+        assert MS == 1000 * US
+        assert SEC == 1000 * MS
+
+
+class TestPagesFor:
+    def test_exact_page(self):
+        assert pages_for(PAGE_SIZE) == 1
+
+    def test_rounds_up(self):
+        assert pages_for(PAGE_SIZE + 1) == 2
+
+    def test_zero_bytes(self):
+        assert pages_for(0) == 0
+
+    def test_sub_page(self):
+        assert pages_for(1) == 1
+
+    def test_large(self):
+        assert pages_for(1 * GB) == GB // PAGE_SIZE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(-1)
+
+
+class TestHumanRendering:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [(512, "512B"), (2 * KB, "2.0KB"), (3 * MB, "3.0MB"), (4 * GB, "4.0GB")],
+    )
+    def test_bytes(self, nbytes, expected):
+        assert bytes_to_human(nbytes) == expected
+
+    @pytest.mark.parametrize(
+        "ns,expected",
+        [(500, "500ns"), (2 * US, "2.00us"), (36 * MS, "36.00ms"), (2 * SEC, "2.00s")],
+    )
+    def test_ns(self, ns, expected):
+        assert ns_to_human(ns) == expected

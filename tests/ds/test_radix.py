@@ -1,0 +1,121 @@
+"""Tests for the radix tree (page-cache index)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds.radix import RADIX_SLOTS, RadixTree
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        assert RadixTree().lookup(0) is None
+
+    def test_insert_lookup_roundtrip(self):
+        tree = RadixTree()
+        assert tree.insert(5, "page5") is True
+        assert tree.lookup(5) == "page5"
+        assert len(tree) == 1
+
+    def test_insert_overwrite(self):
+        tree = RadixTree()
+        tree.insert(5, "a")
+        assert tree.insert(5, "b") is False
+        assert tree.lookup(5) == "b"
+        assert len(tree) == 1
+
+    def test_large_index_grows_tree(self):
+        tree = RadixTree()
+        tree.insert(10**9, "far")
+        assert tree.lookup(10**9) == "far"
+        assert tree.lookup(0) is None
+
+    def test_delete(self):
+        tree = RadixTree()
+        tree.insert(7, "x")
+        assert tree.delete(7) == "x"
+        assert tree.lookup(7) is None
+        assert len(tree) == 0
+
+    def test_delete_missing(self):
+        tree = RadixTree()
+        tree.insert(1, "x")
+        assert tree.delete(99999) is None
+
+    def test_none_value_rejected(self):
+        with pytest.raises(ValueError):
+            RadixTree().insert(1, None)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            RadixTree().insert(-1, "x")
+
+    def test_items_in_index_order(self):
+        tree = RadixTree()
+        for idx in [100, 3, 70, RADIX_SLOTS + 1]:
+            tree.insert(idx, idx)
+        assert [k for k, _ in tree.items()] == sorted([100, 3, 70, RADIX_SLOTS + 1])
+
+
+class TestNodeChurn:
+    """Interior nodes are slab objects; their churn must be observable."""
+
+    def test_node_alloc_callback_fires(self):
+        allocs = []
+        tree = RadixTree(on_node_alloc=allocs.append)
+        tree.insert(0, "x")
+        assert len(allocs) >= 1
+
+    def test_nodes_freed_when_empty(self):
+        frees = []
+        tree = RadixTree(on_node_free=frees.append)
+        for idx in range(RADIX_SLOTS * 2):
+            tree.insert(idx, idx)
+        nodes_at_peak = tree.node_count
+        for idx in range(RADIX_SLOTS * 2):
+            tree.delete(idx)
+        assert tree.node_count == 0
+        assert len(frees) == nodes_at_peak + len(frees) - len(frees)  # all freed
+        assert len(frees) > 0
+
+    def test_sparse_inserts_allocate_proportional_nodes(self):
+        tree = RadixTree()
+        tree.insert(0, "a")
+        nodes_dense = tree.node_count
+        tree.insert(10**6, "b")
+        assert tree.node_count > nodes_dense  # deep spine for the far index
+
+    def test_lookup_hops_accounted(self):
+        tree = RadixTree()
+        tree.insert(10**6, "b")
+        tree.lookups = tree.lookup_hops = 0
+        tree.lookup(10**6)
+        assert tree.lookups == 1
+        assert tree.lookup_hops >= 2
+        assert tree.mean_lookup_hops() == tree.lookup_hops
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.integers(min_value=0, max_value=10**7), st.integers()))
+    def test_property_matches_dict(self, mapping):
+        tree = RadixTree()
+        for key, value in mapping.items():
+            tree.insert(key, value + 1)  # avoid storing falsy None
+        assert len(tree) == len(mapping)
+        for key, value in mapping.items():
+            assert tree.lookup(key) == value + 1
+        assert dict(tree.items()) == {k: v + 1 for k, v in mapping.items()}
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**5), unique=True, min_size=1)
+    )
+    def test_property_delete_all_frees_all_nodes(self, keys):
+        tree = RadixTree()
+        for key in keys:
+            tree.insert(key, key + 1)
+        for key in keys:
+            assert tree.delete(key) == key + 1
+        assert len(tree) == 0
+        assert tree.node_count == 0

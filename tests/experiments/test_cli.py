@@ -1,0 +1,34 @@
+"""Tests for the `python -m repro.experiments` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table6" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_small_experiment(self, capsys):
+        assert main(["fig5b", "--ops", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5b" in out
+        assert "klocs" in out
+
+    def test_save_flag(self, capsys, tmp_path):
+        out_path = tmp_path / "r.json"
+        assert main(["fig5b", "--ops", "300", "--save", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.analysis.results import load_results
+
+        assert load_results(out_path)["experiment"] == "fig5b"
+
+    def test_verdict_unavailable_is_graceful(self, capsys):
+        assert main(["fig5b", "--ops", "300", "--verdict"]) == 0
+        assert "no verdict checker" in capsys.readouterr().out

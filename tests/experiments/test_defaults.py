@@ -1,0 +1,36 @@
+"""Tests for experiment defaults and environment switches."""
+
+import pytest
+
+from repro.experiments import defaults
+
+
+class TestOpsFor:
+    def test_known_workloads(self):
+        for name in ("rocksdb", "redis", "filebench", "cassandra", "spark"):
+            assert defaults.ops_for(name) >= 500
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            defaults.ops_for("postgres")
+
+    def test_quick_mode_shrinks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert defaults.ops_for("rocksdb") == max(
+            500, int(defaults.DEFAULT_OPS["rocksdb"] * 0.25)
+        )
+
+    def test_full_mode_grows(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUICK", raising=False)
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert defaults.ops_for("rocksdb") == defaults.DEFAULT_OPS["rocksdb"] * 2
+
+    def test_seed_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "7")
+        assert defaults.seed() == 7
+
+    def test_eval_workloads_exclude_spark(self):
+        """§6.1: the paper's evaluation drops Spark (firewall issues);
+        we mirror that — Spark appears in Fig 2 only."""
+        assert "spark" not in defaults.EVAL_WORKLOADS
+        assert set(defaults.SWEEP_WORKLOADS) <= set(defaults.EVAL_WORKLOADS)

@@ -1,0 +1,178 @@
+"""Tests for the Kernel facade: wiring, routing, accounting."""
+
+import pytest
+
+from repro.core.config import two_tier_platform_spec
+from repro.core.errors import SimulationError
+from repro.core.objtypes import KernelObjectType
+from repro.core.units import MB, PAGE_SIZE
+from repro.kernel.kernel import Kernel
+from repro.kloc.registry import KlocRegistry
+from repro.mem.frame import PageOwner
+from repro.policies import (
+    AllSlowMem,
+    KlocsPolicy,
+    NaivePolicy,
+    NimblePolicy,
+    NumaKlocsPolicy,
+)
+
+
+def make_kernel(policy=None, **kwargs):
+    spec = two_tier_platform_spec(fast_capacity_bytes=4 * MB, slow_capacity_bytes=40 * MB)
+    return Kernel(spec, policy or NaivePolicy(), seed=3, **kwargs)
+
+
+class TestWiring:
+    def test_policy_attached(self):
+        kernel = make_kernel()
+        assert kernel.policy.kernel is kernel
+
+    def test_kloc_machinery_only_for_kloc_policies(self):
+        assert make_kernel(NaivePolicy()).kloc_manager is None
+        assert make_kernel(KlocsPolicy()).kloc_manager is not None
+        assert make_kernel(KlocsPolicy()).kloc_daemon is not None
+
+    def test_early_demux_follows_policy(self):
+        assert make_kernel(NaivePolicy()).net.driver.early_demux is False
+        assert make_kernel(KlocsPolicy()).net.driver.early_demux is True
+
+    def test_numa_mode_builds_nodes(self):
+        from repro.platforms.optane import optane_platform_spec
+
+        spec = optane_platform_spec(scale_factor=4096)
+        kernel = Kernel(spec, NumaKlocsPolicy(), seed=1)
+        assert set(kernel.nodes) == {"node0", "node1"}
+        assert kernel.nodes["node0"].hw_cache is not None
+
+    def test_set_task_node_requires_numa(self):
+        kernel = make_kernel()
+        with pytest.raises(SimulationError):
+            kernel.set_task_node(1)
+
+
+class TestObjectRouting:
+    def test_slab_types_use_slab_allocator_without_kloc(self):
+        kernel = make_kernel(NaivePolicy())
+        obj = kernel.alloc_object(KernelObjectType.DENTRY)
+        assert obj.allocator == "slab"
+        assert not obj.frame.relocatable
+
+    def test_covered_slab_types_use_kloc_interface(self):
+        kernel = make_kernel(KlocsPolicy())
+        fh = kernel.fs.create("/f")
+        obj = kernel.alloc_object(KernelObjectType.DENTRY, fh.inode)
+        assert obj.allocator == "kloc"
+        assert obj.frame.relocatable
+        assert obj.knode_id == fh.inode.knode_id
+
+    def test_uncovered_types_fall_back_to_slab(self):
+        kernel = make_kernel(KlocsPolicy(), registry=KlocRegistry.none())
+        fh = kernel.fs.create("/f")
+        obj = kernel.alloc_object(KernelObjectType.DENTRY, fh.inode)
+        assert obj.allocator == "slab"
+        assert obj.knode_id is None
+
+    def test_page_types_use_page_allocator(self):
+        kernel = make_kernel(KlocsPolicy())
+        fh = kernel.fs.create("/f")
+        obj = kernel.alloc_object(KernelObjectType.PAGE_CACHE, fh.inode)
+        assert obj.allocator == "page"
+
+    def test_all_slow_places_everything_slow(self):
+        kernel = make_kernel(AllSlowMem())
+        obj = kernel.alloc_object(KernelObjectType.PAGE_CACHE)
+        frames = kernel.alloc_app_pages(2)
+        assert obj.frame.tier_name == "slow"
+        assert all(f.tier_name == "slow" for f in frames)
+
+    def test_free_object_routes_by_allocator(self):
+        kernel = make_kernel(KlocsPolicy())
+        fh = kernel.fs.create("/f")
+        for otype in (KernelObjectType.DENTRY, KernelObjectType.PAGE_CACHE):
+            obj = kernel.alloc_object(otype, fh.inode)
+            kernel.free_object(obj)
+            assert not obj.live
+
+
+class TestAccounting:
+    def test_reference_attribution(self):
+        kernel = make_kernel()
+        obj = kernel.alloc_object(KernelObjectType.PAGE_CACHE)
+        app = kernel.alloc_app_pages(1)[0]
+        kernel.access_object(obj, 100)
+        kernel.access_frame(app, 100)
+        assert kernel.kernel_refs == 1
+        assert kernel.app_refs == 1
+        assert kernel.kernel_ref_fraction() == pytest.approx(0.5)
+
+    def test_access_freed_object_rejected(self):
+        kernel = make_kernel()
+        obj = kernel.alloc_object(KernelObjectType.PAGE_CACHE)
+        kernel.free_object(obj)
+        with pytest.raises(SimulationError):
+            kernel.access_object(obj)
+
+    def test_fast_ref_fraction(self):
+        kernel = make_kernel(NaivePolicy())
+        obj = kernel.alloc_object(KernelObjectType.PAGE_CACHE)
+        kernel.access_object(obj)
+        assert kernel.fast_ref_fraction() == 1.0
+
+    def test_reset_reference_counters(self):
+        kernel = make_kernel()
+        obj = kernel.alloc_object(KernelObjectType.PAGE_CACHE)
+        kernel.access_object(obj)
+        kernel.reset_reference_counters()
+        assert kernel.kernel_refs == 0
+        assert kernel.fast_ref_fraction() == 0.0
+
+    def test_background_work_amortized(self):
+        kernel = make_kernel()
+        before = kernel.clock.now()
+        kernel.background_cpu_work(16_000)
+        assert kernel.clock.now() - before == 16_000 // kernel.num_cpus
+
+    def test_storage_background_cheaper(self):
+        kernel = make_kernel()
+        fg = kernel.storage_io(1 << 20, write=False, sequential=True)
+        bg = kernel.storage_io(1 << 20, write=False, sequential=True, background=True)
+        assert bg < fg
+
+
+class TestPressure:
+    def test_emergency_reclaim_on_exhaustion(self):
+        spec = two_tier_platform_spec(
+            fast_capacity_bytes=1 * MB, slow_capacity_bytes=2 * MB
+        )
+        kernel = Kernel(spec, NaivePolicy(), seed=3, page_cache_max_pages=10_000)
+        fh = kernel.fs.create("/big")
+        # Write more than total memory: reclaim must kick in, not crash.
+        kernel.fs.write(fh, 0, 2 * MB)
+        kernel.topology.check_invariants()
+        assert kernel.fs.cache_mgr.total_pages <= kernel.topology.live_pages()
+
+
+class TestLifecycleHooks:
+    def test_fs_create_builds_knode(self):
+        kernel = make_kernel(KlocsPolicy())
+        fh = kernel.fs.create("/f")
+        assert fh.inode.knode_id is not None
+        knode = kernel.kloc_manager.kmap.lookup(fh.inode.knode_id)
+        assert knode.inuse
+
+    def test_close_marks_pending_cold(self):
+        kernel = make_kernel(KlocsPolicy())
+        fh = kernel.fs.create("/f")
+        knode_id = fh.inode.knode_id
+        kernel.fs.close(fh)
+        assert knode_id in kernel.kloc_daemon.pending
+
+    def test_unlink_unmarks_and_deletes(self):
+        kernel = make_kernel(KlocsPolicy())
+        fh = kernel.fs.create("/f")
+        knode_id = fh.inode.knode_id
+        kernel.fs.close(fh)
+        kernel.fs.unlink("/f")
+        assert knode_id not in kernel.kloc_daemon.pending
+        assert kernel.kloc_manager.kmap.lookup(knode_id) is None

@@ -1,0 +1,84 @@
+"""Tests for the Optane hardware DRAM cache and NUMA node model."""
+
+import pytest
+
+from repro.core.config import pmem_spec
+from repro.core.units import MB, PAGE_SIZE
+from repro.mem.hwcache import HardwareDRAMCache
+from repro.mem.node import NumaNode
+from repro.mem.tier import MemoryTier
+
+
+class TestHardwareDRAMCache:
+    def test_miss_then_hit(self):
+        cache = HardwareDRAMCache(1 * MB)
+        assert cache.access(1) is False
+        assert cache.access(1) is True
+
+    def test_lru_eviction(self):
+        cache = HardwareDRAMCache(2 * PAGE_SIZE)  # 2 pages
+        cache.access(1)
+        cache.access(2)
+        cache.access(3)  # evicts 1
+        assert cache.access(1) is False
+        assert cache.evictions >= 1
+
+    def test_hit_refreshes_recency(self):
+        cache = HardwareDRAMCache(2 * PAGE_SIZE)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 2 becomes LRU
+        cache.access(3)  # evicts 2
+        assert cache.access(1) is True
+
+    def test_invalidate(self):
+        cache = HardwareDRAMCache(1 * MB)
+        cache.access(7)
+        cache.invalidate(7)
+        assert cache.access(7) is False
+
+    def test_invalidate_missing_is_noop(self):
+        HardwareDRAMCache(1 * MB).invalidate(42)
+
+    def test_hit_rate(self):
+        cache = HardwareDRAMCache(1 * MB)
+        cache.access(1)
+        cache.access(1)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareDRAMCache(0)
+
+
+class TestNumaNode:
+    @pytest.fixture
+    def node(self):
+        tier = MemoryTier(pmem_spec(capacity_bytes=16 * MB))
+        return NumaNode(0, tier, HardwareDRAMCache(4 * MB))
+
+    def test_cache_hit_cheaper_than_miss(self, node):
+        miss = node.access_cost_ns(1, PAGE_SIZE, write=False, from_node=0)
+        hit = node.access_cost_ns(1, PAGE_SIZE, write=False, from_node=0)
+        assert hit < miss
+
+    def test_remote_access_costs_more(self, node):
+        node.access_cost_ns(5, PAGE_SIZE, write=False, from_node=0)  # warm cache
+        local = node.access_cost_ns(5, PAGE_SIZE, write=False, from_node=0)
+        remote = node.access_cost_ns(5, PAGE_SIZE, write=False, from_node=1)
+        assert remote > local
+
+    def test_access_attribution(self, node):
+        node.access_cost_ns(1, 64, write=False, from_node=0)
+        node.access_cost_ns(2, 64, write=False, from_node=1)
+        assert node.local_accesses == 1
+        assert node.remote_accesses == 1
+        assert node.local_ratio() == pytest.approx(0.5)
+
+    def test_node_without_cache_uses_tier_cost(self):
+        tier = MemoryTier(pmem_spec(capacity_bytes=16 * MB))
+        node = NumaNode(1, tier, hw_cache=None)
+        cost = node.access_cost_ns(1, PAGE_SIZE, write=False, from_node=1)
+        assert cost == tier.spec.read_latency_ns + int(
+            PAGE_SIZE / tier.spec.read_bw_bytes_per_ns
+        )

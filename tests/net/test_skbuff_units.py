@@ -1,0 +1,69 @@
+"""Unit tests for skbuff and socket primitives not covered elsewhere."""
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.core.objtypes import KernelObjectType
+from repro.net.skbuff import MTU_BYTES, SKBuff
+from repro.net.socket import Socket
+from repro.vfs.inode import Inode
+from tests.fakes import FakeKernel
+
+
+@pytest.fixture
+def kernel():
+    return FakeKernel()
+
+
+def make_skb(kernel, nbytes=500):
+    header = kernel.alloc_object(KernelObjectType.SKBUFF)
+    data = kernel.alloc_object(KernelObjectType.SKBUFF_DATA)
+    return SKBuff(header=header, data=data, nbytes=nbytes)
+
+
+class TestSKBuff:
+    def test_live_tracks_both_objects(self, kernel):
+        skb = make_skb(kernel)
+        assert skb.live
+        kernel.free_object(skb.data)
+        assert not skb.live
+
+    def test_repr_direction(self, kernel):
+        skb = make_skb(kernel)
+        assert "rx" in repr(skb)
+        skb.ingress = False
+        assert "tx" in repr(skb)
+
+    def test_mtu_is_ethernet(self):
+        assert MTU_BYTES == 1500
+
+
+class TestSocketQueue:
+    def _socket(self, kernel):
+        sock_obj = kernel.alloc_object(KernelObjectType.SOCK)
+        return Socket(1, 80, Inode(5, is_socket=True), sock_obj)
+
+    def test_fifo_order(self, kernel):
+        sock = self._socket(kernel)
+        a, b = make_skb(kernel, 100), make_skb(kernel, 200)
+        sock.enqueue(a)
+        sock.enqueue(b)
+        assert sock.dequeue() is a
+        assert sock.dequeue() is b
+        assert sock.dequeue() is None
+
+    def test_counters(self, kernel):
+        sock = self._socket(kernel)
+        sock.enqueue(make_skb(kernel, 100))
+        sock.enqueue(make_skb(kernel, 150))
+        assert sock.packets_received == 2
+        assert sock.bytes_received == 250
+        assert sock.rx_backlog == 2
+
+    def test_closed_socket_rejects_queue_ops(self, kernel):
+        sock = self._socket(kernel)
+        sock.closed = True
+        with pytest.raises(NetworkError):
+            sock.enqueue(make_skb(kernel))
+        with pytest.raises(NetworkError):
+            sock.dequeue()

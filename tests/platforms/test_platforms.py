@@ -1,0 +1,76 @@
+"""Tests for the platform builders."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.units import GB
+from repro.platforms.optane import build_optane_kernel, optane_platform_spec
+from repro.platforms.twotier import (
+    PAPER_FAST_BYTES,
+    PAPER_SLOW_BYTES,
+    build_two_tier_kernel,
+    two_tier_spec_scaled,
+)
+
+
+class TestTwoTier:
+    def test_scaled_capacities(self):
+        spec = two_tier_spec_scaled(scale_factor=1024)
+        assert spec.fast.capacity_bytes == PAPER_FAST_BYTES // 1024
+        assert spec.slow.capacity_bytes == PAPER_SLOW_BYTES // 1024
+
+    def test_bandwidth_ratio(self):
+        spec = two_tier_spec_scaled(scale_factor=1024, bandwidth_ratio=4)
+        assert spec.fast.read_bw_bytes_per_ns / spec.slow.read_bw_bytes_per_ns == (
+            pytest.approx(4)
+        )
+
+    def test_build_known_policy(self):
+        kernel, policy = build_two_tier_kernel("klocs", scale_factor=4096)
+        assert policy.name == "klocs"
+        assert kernel.kloc_manager is not None
+
+    def test_all_fast_gets_big_fast_tier(self):
+        kernel, _ = build_two_tier_kernel("all_fast", scale_factor=4096)
+        assert (
+            kernel.topology.tier("fast").capacity_pages
+            == kernel.topology.tier("slow").capacity_pages
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            build_two_tier_kernel("wishful")
+
+
+class TestOptane:
+    def test_spec_has_two_symmetric_nodes(self):
+        spec = optane_platform_spec(scale_factor=1024)
+        assert spec.fast.name == "node0"
+        assert spec.slow.name == "node1"
+        assert spec.fast.capacity_bytes == spec.slow.capacity_bytes
+        assert spec.hw_cache_bytes == 16 * GB // 1024
+
+    def test_build_wires_hw_caches(self):
+        kernel, _ = build_optane_kernel("autonuma", scale_factor=4096)
+        assert kernel.numa_mode
+        assert kernel.nodes["node0"].hw_cache is not None
+        assert kernel.nodes["node1"].hw_cache is not None
+
+    def test_task_move_hooks(self):
+        kernel, policy = build_optane_kernel("all_local", scale_factor=4096)
+        frames = kernel.alloc_app_pages(4)
+        assert all(f.tier_name == "node0" for f in frames)
+        kernel.set_task_node(1)
+        # The ideal policy teleports existing data to the new home node.
+        assert all(f.tier_name == "node1" for f in frames)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            build_optane_kernel("wishful")
+
+    def test_dram_cache_absorbs_repeat_access(self):
+        kernel, _ = build_optane_kernel("autonuma", scale_factor=4096)
+        obj_frames = kernel.alloc_app_pages(1)
+        cold = kernel.access_frame(obj_frames[0], 4096)
+        warm = kernel.access_frame(obj_frames[0], 4096)
+        assert warm < cold  # second touch hits the L4 DRAM cache

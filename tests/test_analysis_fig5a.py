@@ -1,0 +1,43 @@
+"""Tests for the Fig 5a verdict checker (completing analysis coverage)."""
+
+import pytest
+
+from repro.analysis.verdict import check_fig5a
+from repro.experiments.fig5 import Fig5aReport
+
+
+def report(all_local=1.6, klocs=1.5, autonuma=1.2, nimble=1.3):
+    return Fig5aReport(
+        speedups={
+            "rocksdb": {
+                "all_remote": 1.0,
+                "all_local": all_local,
+                "klocs": klocs,
+                "autonuma": autonuma,
+                "nimble": nimble,
+            }
+        }
+    )
+
+
+class TestFig5aVerdict:
+    def test_paper_like_numbers_pass(self):
+        verdict = check_fig5a(report())
+        assert verdict.ok, verdict.format_report()
+        assert len(verdict.checks) == 3
+
+    def test_klocs_no_better_than_autonuma_fails(self):
+        verdict = check_fig5a(report(klocs=1.2))
+        assert not verdict.ok
+        misses = [c for c in verdict.checks if not c.ok]
+        assert any("klocs_over_autonuma" == c.metric for c in misses)
+
+    def test_absurd_ideal_flagged(self):
+        verdict = check_fig5a(report(all_local=6.0))
+        assert not verdict.ok
+
+    def test_multiple_workloads_all_checked(self):
+        r = report()
+        r.speedups["redis"] = dict(r.speedups["rocksdb"])
+        verdict = check_fig5a(r)
+        assert len(verdict.checks) == 6

@@ -1,0 +1,71 @@
+"""Report-formatting coverage: every experiment report renders cleanly."""
+
+import pytest
+
+from repro.experiments.fig2 import Fig2Report, Fig2Result
+from repro.experiments.fig4 import Fig4Report
+from repro.experiments.fig5 import Fig5aReport, Fig5bReport, Fig5cReport
+from repro.experiments.fig6 import Fig6Cell, Fig6Report
+from repro.experiments.prefetch import PrefetchReport
+from repro.experiments.table6 import Table6Report
+from repro.metrics.footprint import FootprintSnapshot
+from repro.metrics.lifetime import LifetimeReport
+from repro.metrics.references import ReferenceReport
+from repro.mem.frame import PageOwner
+
+
+def test_fig2_report_renders_all_sections():
+    row = Fig2Result(
+        workload="rocksdb",
+        footprint=FootprintSnapshot(
+            allocated={PageOwner.APP: 50, PageOwner.PAGE_CACHE: 40,
+                       PageOwner.SLAB: 10},
+        ),
+        references=ReferenceReport(kernel_refs=55, app_refs=45),
+        lifetimes=LifetimeReport(
+            app_mean_ns=1e9, slab_mean_ns=1e5, page_cache_mean_ns=1e6
+        ),
+    )
+    report = Fig2Report(rows=[row], scaling={"rocksdb": {"small": 0.4, "large": 0.5}})
+    text = report.format_report()
+    for marker in ("Fig 2a", "Fig 2b", "Fig 2c", "Fig 2d", "rocksdb"):
+        assert marker in text
+    assert row.lifetimes.ordering_holds()
+
+
+def test_fig4_report_handles_missing_policies():
+    report = Fig4Report(speedups={"redis": {"all_slow": 1.0, "klocs": 2.0}})
+    text = report.format_report()
+    assert "redis" in text
+    assert report.ratio("redis", "klocs", "all_slow") == pytest.approx(2.0)
+
+
+def test_fig5_reports_render():
+    a = Fig5aReport(speedups={"redis": {p: 1.0 for p in
+                    ("all_remote", "autonuma", "nimble", "klocs", "all_local")}})
+    assert "Fig 5a" in a.format_report()
+    c = Fig5cReport(speedups={"redis": {g: 1.0 for g in
+                    ("none", "page_cache", "journal", "slab", "sockbuf", "block_io")}})
+    assert "app-only" in c.format_report()
+    b = Fig5bReport()
+    assert "Fig 5b" in b.format_report()
+
+
+def test_fig6_report_and_lookup():
+    cell = Fig6Cell(capacity_gb=8, ratio=8, policy="klocs", avg=1.8, lo=1.7, hi=1.9)
+    report = Fig6Report(cells=[cell])
+    assert report.cell(8, 8, "klocs") is cell
+    assert "1:8" in report.format_report()
+
+
+def test_table6_scaling_math():
+    report = Table6Report(metadata_bytes={"rocksdb": 100 * 1024}, scale_factor=1024)
+    assert report.paper_equivalent_mb("rocksdb") == pytest.approx(100.0)
+    assert 0 < report.fraction_of_memory("rocksdb") < 1
+    assert "Table 6" in report.format_report()
+
+
+def test_prefetch_report():
+    report = PrefetchReport(ratios={("rocksdb", "klocs"): 1.2})
+    assert report.ratio("rocksdb", "klocs") == pytest.approx(1.2)
+    assert "readahead" in report.format_report()

@@ -1,0 +1,77 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import csv
+
+import pytest
+
+from repro.analysis.sweep import SweepResult, SweepRow, run_sweep
+
+TINY = 300
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        workloads=["rocksdb"],
+        policies=["all_slow", "klocs"],
+        grid={"bandwidth_ratio": [2, 8]},
+        ops=TINY,
+    )
+
+
+class TestRunSweep:
+    def test_cartesian_row_count(self, sweep):
+        assert len(sweep.rows) == 1 * 2 * 2
+
+    def test_params_recorded(self, sweep):
+        ratios = {r.params["bandwidth_ratio"] for r in sweep.rows}
+        assert ratios == {2, 8}
+
+    def test_invalid_grid_key(self):
+        with pytest.raises(ValueError):
+            run_sweep(["rocksdb"], ["klocs"], {"magic": [1]}, ops=TINY)
+
+    def test_filter_and_best(self, sweep):
+        klocs_rows = sweep.filter(policy="klocs")
+        assert len(klocs_rows) == 2
+        assert sweep.best().throughput == max(r.throughput for r in sweep.rows)
+
+    def test_speedup_vs_baseline(self, sweep):
+        for row in sweep.filter(policy="klocs"):
+            ratio = sweep.speedup(row, "all_slow")
+            assert ratio > 0.8  # klocs never collapses below the floor
+
+    def test_speedup_missing_baseline(self, sweep):
+        row = sweep.rows[0]
+        with pytest.raises(ValueError):
+            sweep.speedup(row, "naive")
+
+    def test_bandwidth_effect_visible(self, sweep):
+        """The wider differential hurts the all-slow baseline more."""
+        slow = {r.params["bandwidth_ratio"]: r.throughput
+                for r in sweep.filter(policy="all_slow")}
+        assert slow[8] < slow[2]
+
+    def test_csv_roundtrip(self, sweep, tmp_path):
+        path = sweep.to_csv(tmp_path / "out" / "sweep.csv")
+        with path.open() as fh:
+            records = list(csv.DictReader(fh))
+        assert len(records) == len(sweep.rows)
+        assert {"workload", "policy", "throughput", "bandwidth_ratio"} <= set(
+            records[0]
+        )
+
+    def test_format_report(self, sweep):
+        text = sweep.format_report()
+        assert "parameter sweep" in text
+        assert "klocs" in text
+
+
+class TestEmptySweep:
+    def test_empty_result_guards(self):
+        empty = SweepResult()
+        assert empty.format_report() == "(empty sweep)"
+        with pytest.raises(ValueError):
+            empty.best()
+        with pytest.raises(ValueError):
+            empty.to_csv("/tmp/nope.csv")

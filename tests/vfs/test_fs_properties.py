@@ -1,0 +1,107 @@
+"""Property-based tests over the filesystem: random valid op sequences
+must preserve accounting invariants and never corrupt state."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import KB, PAGE_SIZE
+from repro.vfs.filesystem import Filesystem
+from tests.fakes import FakeKernel
+
+
+class _Driver:
+    """Interprets a random op tape against the FS, tracking a shadow."""
+
+    def __init__(self):
+        self.kernel = FakeKernel(fast_bytes=8 * 1024 * 1024, slow_bytes=64 * 1024 * 1024)
+        self.fs = Filesystem(self.kernel, page_cache_max_pages=2048)
+        self.open_handles = []
+        self.closed_paths = []
+        self.next_file = 0
+
+    def step(self, op: int, arg: int) -> None:
+        kind = op % 5
+        if kind == 0:  # create
+            path = f"/p{self.next_file}"
+            self.next_file += 1
+            self.open_handles.append(self.fs.create(path))
+        elif kind == 1 and self.open_handles:  # write
+            fh = self.open_handles[arg % len(self.open_handles)]
+            self.fs.write(fh, (arg % 64) * PAGE_SIZE, (1 + arg % 4) * KB)
+        elif kind == 2 and self.open_handles:  # read
+            fh = self.open_handles[arg % len(self.open_handles)]
+            if fh.inode.size_bytes:
+                self.fs.read(fh, 0, min(fh.inode.size_bytes, 8 * KB))
+        elif kind == 3 and self.open_handles:  # close
+            fh = self.open_handles.pop(arg % len(self.open_handles))
+            self.fs.close(fh)
+            self.closed_paths.append(fh.path)
+        elif kind == 4 and self.closed_paths:  # unlink or reopen
+            path = self.closed_paths.pop(arg % len(self.closed_paths))
+            if self.fs.exists(path):
+                if arg % 2:
+                    self.fs.unlink(path)
+                else:
+                    self.open_handles.append(self.fs.open(path))
+
+    def finish(self) -> None:
+        for fh in self.open_handles:
+            self.fs.close(fh)
+        self.kernel.topology.check_invariants()
+        # Caches and counters agree.
+        assert self.fs.cache_mgr.total_pages == sum(
+            len(c.pages())
+            for ino in [i.ino for i in self.fs.inodes.live_inodes()]
+            if (c := self.fs.cache_mgr.cache_for(ino)) is not None
+        )
+        assert self.fs.cache_mgr.total_pages <= self.fs.cache_mgr.max_pages
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        max_size=120,
+    )
+)
+def test_random_vfs_sequences_keep_invariants(tape):
+    driver = _Driver()
+    for op, arg in tape:
+        driver.step(op, arg)
+    driver.finish()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=199), st.booleans()),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_sparse_write_read_consistency(accesses):
+    """Writes at arbitrary page offsets are always readable afterward and
+    size tracking is exactly the max extent written."""
+    kernel = FakeKernel(fast_bytes=8 * 1024 * 1024, slow_bytes=64 * 1024 * 1024)
+    fs = Filesystem(kernel, page_cache_max_pages=4096)
+    fh = fs.create("/sparse")
+    max_end = 0
+    for page_idx, small in accesses:
+        nbytes = 100 if small else PAGE_SIZE
+        fs.write(fh, page_idx * PAGE_SIZE, nbytes)
+        max_end = max(max_end, page_idx * PAGE_SIZE + nbytes)
+    assert fh.inode.size_bytes == max_end
+    assert fs.read(fh, 0, max_end) == max_end
+    fs.close(fh)
+    fs.unlink("/sparse")
+    fs.journal.commit()
+    kernel.topology.check_invariants()
+    assert kernel.topology.live_pages() == 0

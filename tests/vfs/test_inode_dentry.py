@@ -1,0 +1,116 @@
+"""Tests for inodes, the inode table, and the dentry cache."""
+
+import pytest
+
+from repro.core.errors import VFSError
+from repro.vfs.dentry import Dentry, DentryCache
+from repro.vfs.inode import Inode, InodeTable
+
+
+class TestInode:
+    def test_open_close_refcounting(self):
+        inode = Inode(1)
+        inode.open()
+        inode.open()
+        assert inode.open_count == 2
+        inode.close()
+        assert inode.is_open
+        inode.close()
+        assert not inode.is_open
+
+    def test_close_unopened_rejected(self):
+        with pytest.raises(VFSError):
+            Inode(1).close()
+
+    def test_open_deleted_rejected(self):
+        inode = Inode(1)
+        inode.deleted = True
+        with pytest.raises(VFSError):
+            inode.open()
+
+    def test_socket_inode_flag(self):
+        assert Inode(1, is_socket=True).is_socket
+        assert "sock" in repr(Inode(2, is_socket=True))
+
+
+class TestInodeTable:
+    def test_unique_inos(self):
+        table = InodeTable()
+        a = table.create()
+        b = table.create()
+        assert a.ino != b.ino
+
+    def test_get(self):
+        table = InodeTable()
+        inode = table.create()
+        assert table.get(inode.ino) is inode
+
+    def test_get_missing(self):
+        with pytest.raises(VFSError):
+            InodeTable().get(99)
+
+    def test_drop(self):
+        table = InodeTable()
+        inode = table.create()
+        table.drop(inode.ino)
+        with pytest.raises(VFSError):
+            table.get(inode.ino)
+        with pytest.raises(VFSError):
+            table.drop(inode.ino)
+
+    def test_live_inodes(self):
+        table = InodeTable()
+        table.create()
+        table.create(is_socket=True)
+        assert len(table.live_inodes()) == 2
+        assert len(table) == 2
+
+
+class _FakeObj:
+    pass
+
+
+class TestDentryCache:
+    def _dentry(self, path, ino=1):
+        return Dentry(path, Inode(ino), _FakeObj())
+
+    def test_miss_then_hit(self):
+        cache = DentryCache()
+        assert cache.lookup("/a") is None
+        cache.insert(self._dentry("/a"))
+        assert cache.lookup("/a") is not None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_duplicate_insert_rejected(self):
+        cache = DentryCache()
+        cache.insert(self._dentry("/a"))
+        with pytest.raises(VFSError):
+            cache.insert(self._dentry("/a"))
+
+    def test_lru_shrink_returns_victims(self):
+        cache = DentryCache(max_entries=2)
+        cache.insert(self._dentry("/a", 1))
+        cache.insert(self._dentry("/b", 2))
+        evicted = cache.insert(self._dentry("/c", 3))
+        assert [d.path for d in evicted] == ["/a"]
+        assert "/a" not in cache
+        assert len(cache) == 2
+
+    def test_lookup_refreshes_recency(self):
+        cache = DentryCache(max_entries=2)
+        cache.insert(self._dentry("/a", 1))
+        cache.insert(self._dentry("/b", 2))
+        cache.lookup("/a")
+        evicted = cache.insert(self._dentry("/c", 3))
+        assert [d.path for d in evicted] == ["/b"]
+
+    def test_remove(self):
+        cache = DentryCache()
+        cache.insert(self._dentry("/a"))
+        assert cache.remove("/a") is not None
+        assert cache.remove("/a") is None
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DentryCache(max_entries=0)

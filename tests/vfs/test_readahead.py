@@ -1,0 +1,62 @@
+"""Tests for the adaptive readahead window."""
+
+from repro.vfs.readahead import INITIAL_WINDOW, MAX_WINDOW, ReadaheadState
+
+
+class TestSequentialDetection:
+    def test_no_prefetch_on_first_reads(self):
+        ra = ReadaheadState()
+        assert ra.update(0) == []
+        assert ra.update(1) == []
+
+    def test_prefetch_after_streak(self):
+        ra = ReadaheadState()
+        ra.update(0)
+        ra.update(1)
+        pages = ra.update(2)
+        assert pages == list(range(3, 3 + INITIAL_WINDOW))
+
+    def test_window_doubles(self):
+        ra = ReadaheadState()
+        for i in range(3):
+            ra.update(i)
+        first = len(ra.update(3))
+        assert first <= 2 * INITIAL_WINDOW
+        assert ra.window <= MAX_WINDOW
+
+    def test_window_capped(self):
+        ra = ReadaheadState()
+        for i in range(64):
+            ra.update(i)
+        assert ra.window <= MAX_WINDOW
+
+    def test_random_access_resets(self):
+        ra = ReadaheadState()
+        ra.update(0)
+        ra.update(1)
+        ra.update(2)
+        assert ra.window > INITIAL_WINDOW
+        assert ra.update(100) == []  # jump resets
+        assert ra.window == INITIAL_WINDOW
+        assert ra.streak == 0
+
+    def test_no_duplicate_prefetch(self):
+        ra = ReadaheadState()
+        ra.update(0)
+        ra.update(1)
+        first = set(ra.update(2))
+        second = set(ra.update(3))
+        assert not (first & second)
+
+    def test_useful_fraction(self):
+        ra = ReadaheadState()
+        ra.update(0)
+        ra.update(1)
+        prefetched = ra.update(2)
+        assert prefetched
+        for idx in prefetched:
+            ra.update(idx)
+        assert ra.useful_fraction() > 0
+
+    def test_useful_fraction_empty(self):
+        assert ReadaheadState().useful_fraction() == 0.0

@@ -1,0 +1,61 @@
+"""Tests for the workload base driver mechanics."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.units import SEC
+from repro.workloads.base import Workload, WorkloadConfig, WorkloadResult
+from tests.workloads.test_workloads import make_kernel
+
+
+class _CountingWorkload(Workload):
+    """Minimal workload recording which CPU each op ran on."""
+
+    def __init__(self, kernel, config):
+        super().__init__(kernel, config)
+        self.cpus_seen = []
+        self.setup_calls = 0
+
+    def _setup(self):
+        self.setup_calls += 1
+
+    def run_op(self, op_index, cpu):
+        self.cpus_seen.append(cpu)
+        self.kernel.clock.advance(1000)
+
+
+def make_counting(num_threads=4):
+    kernel = make_kernel()
+    cfg = WorkloadConfig(name="counting", num_threads=num_threads, scale_factor=8192)
+    return _CountingWorkload(kernel, cfg)
+
+
+class TestDriver:
+    def test_ops_spread_across_thread_cpus(self):
+        wl = make_counting(num_threads=4)
+        wl.run(8)
+        assert wl.cpus_seen == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_setup_runs_once(self):
+        wl = make_counting()
+        wl.run(2)
+        wl.run(2)
+        assert wl.setup_calls == 1
+
+    def test_result_math(self):
+        wl = make_counting()
+        result = wl.run(10)
+        assert result.ops == 10
+        assert result.elapsed_ns == 10 * 1000
+        assert result.throughput_ops_per_sec == pytest.approx(
+            10 / (result.elapsed_ns / SEC)
+        )
+
+    def test_zero_elapsed_guard(self):
+        result = WorkloadResult(name="x", ops=5, elapsed_ns=0)
+        assert result.throughput_ops_per_sec == 0.0
+
+    def test_invalid_ops(self):
+        wl = make_counting()
+        with pytest.raises(ConfigError):
+            wl.run(0)

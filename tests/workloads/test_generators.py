@@ -1,0 +1,58 @@
+"""Tests for key distributions and the YCSB generator."""
+
+import pytest
+
+from repro.core.rng import DeterministicRNG
+from repro.workloads.keydist import UniformKeys, ZipfKeys
+from repro.workloads.ycsb import YCSBGenerator, YCSBOp
+
+
+class TestKeyDistributions:
+    def test_zipf_range_and_skew(self):
+        keys = ZipfKeys(DeterministicRNG(1), universe=10_000)
+        draws = [keys.next_key() for _ in range(5000)]
+        assert all(0 <= k < 10_000 for k in draws)
+        head = sum(1 for k in draws if k < 100)
+        assert head / len(draws) > 0.3
+
+    def test_uniform_range(self):
+        keys = UniformKeys(DeterministicRNG(1), universe=100)
+        draws = [keys.next_key() for _ in range(2000)]
+        assert all(0 <= k < 100 for k in draws)
+        # Roughly flat: every decile hit.
+        assert len({k // 10 for k in draws}) == 10
+
+    def test_invalid_universe(self):
+        with pytest.raises(ValueError):
+            ZipfKeys(DeterministicRNG(1), universe=0)
+        with pytest.raises(ValueError):
+            UniformKeys(DeterministicRNG(1), universe=-1)
+
+
+class TestYCSB:
+    def test_mix_ratio(self):
+        gen = YCSBGenerator(DeterministicRNG(2), num_keys=1000, read_fraction=0.5)
+        ops = [gen.next_request().op for _ in range(4000)]
+        reads = sum(1 for op in ops if op is YCSBOp.READ)
+        assert 0.45 < reads / len(ops) < 0.55
+
+    def test_read_only(self):
+        gen = YCSBGenerator(DeterministicRNG(2), num_keys=10, read_fraction=1.0)
+        assert all(
+            gen.next_request().op is YCSBOp.READ for _ in range(50)
+        )
+
+    def test_keys_in_range(self):
+        gen = YCSBGenerator(DeterministicRNG(2), num_keys=100)
+        assert all(0 <= gen.next_request().key < 100 for _ in range(500))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            YCSBGenerator(DeterministicRNG(2), num_keys=10, read_fraction=1.5)
+
+    def test_deterministic(self):
+        a = YCSBGenerator(DeterministicRNG(3), num_keys=100)
+        b = YCSBGenerator(DeterministicRNG(3), num_keys=100)
+        assert [a.next_request() for _ in range(20)] == [
+            b.next_request() for _ in range(20)
+        ]

@@ -1,0 +1,63 @@
+"""Deeper RocksDB-model invariants: the LSM bookkeeping must stay sane
+under long op streams (compactions, handle cache, file population)."""
+
+import pytest
+
+from repro.workloads.rocksdb import (
+    COMPACTION_FANIN,
+    HANDLE_CACHE_SIZE,
+    SST_BYTES,
+)
+from tests.workloads.test_workloads import make
+
+
+class TestLSMBookkeeping:
+    def test_population_tracks_filesystem(self):
+        kernel, wl = make("rocksdb")
+        wl.run(1200)
+        # Every tracked SST exists in the namespace; nothing leaked.
+        for name in wl._sst_names:
+            assert kernel.fs.exists(name), name
+        # And the FS holds only SSTs (plus nothing else for this model).
+        assert kernel.fs.file_count() == len(wl._sst_names)
+
+    def test_handle_cache_bounded_and_open(self):
+        kernel, wl = make("rocksdb")
+        wl.run(1200)
+        assert len(wl._handles) <= HANDLE_CACHE_SIZE
+        for name, handle in wl._handles.items():
+            assert not handle.closed
+            assert handle.path == name
+
+    def test_file_sizes_within_lsm_bounds(self):
+        """Every live SST is either a flush output (one SST unit) or a
+        compaction output (FANIN units) — nothing truncated or inflated."""
+        kernel, wl = make("rocksdb")
+        wl.run(1500)
+        if wl.compactions == 0:
+            pytest.skip("op budget too small to reach a compaction")
+        sizes = {
+            kernel.fs.dcache.lookup(n).inode.size_bytes for n in wl._sst_names
+        }
+        assert sizes <= {SST_BYTES, SST_BYTES * COMPACTION_FANIN}
+        assert SST_BYTES in sizes  # fresh flush outputs exist
+        assert SST_BYTES * COMPACTION_FANIN in sizes  # merged outputs too
+
+    def test_dataset_roughly_stable(self):
+        _, wl = make("rocksdb")
+        wl.setup()
+        initial = wl.live_ssts
+        wl.run(2000)
+        # Compaction prevents unbounded growth (net -3 files per cycle
+        # against +8 flushed, so the population drifts slowly, not 2x).
+        assert wl.live_ssts < initial * 2
+
+    def test_memtable_flush_cadence(self):
+        _, wl = make("rocksdb")
+        wl.setup()
+        flushes_before = wl.flushes
+        wl.run(2000)
+        from repro.workloads.rocksdb import WRITES_PER_FLUSH
+
+        expected = 2000 * 0.5 / WRITES_PER_FLUSH
+        assert wl.flushes - flushes_before == pytest.approx(expected, rel=0.4)
