@@ -8,6 +8,14 @@ Run with::
     pytest benchmarks/ --benchmark-only -s
 
 Set REPRO_QUICK=1 for a ~4x faster pass with looser statistics.
+
+Figure regenerators route through the parallel experiment engine: cells
+fan out across REPRO_JOBS workers and completed runs are replayed from
+``.repro_cache/``. The *shape* assertions are unaffected (cached results
+are bit-identical), so warm-cache re-runs are near-instant; when the
+recorded pytest-benchmark timing itself is the point, run with
+``REPRO_NO_CACHE=1`` (wall-clock trajectory is otherwise tracked by
+``scripts/smoke_bench.py`` in CI, which always bypasses the cache).
 """
 
 import pytest

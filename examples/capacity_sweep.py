@@ -6,6 +6,12 @@ table, renders a terminal chart of the speedups, and writes a CSV for
 offline plotting — the workflow a downstream study would use for
 questions the paper's own sweep doesn't answer.
 
+The sweep goes through the parallel experiment engine: grid cells run on
+REPRO_JOBS worker processes (default: all cores) and completed cells are
+cached under .repro_cache/, so re-running after a tweak only recomputes
+what changed. Set REPRO_NO_CACHE=1 to force recomputation, REPRO_JOBS=1
+to debug serially.
+
 Run:  python examples/capacity_sweep.py [ops]
 """
 

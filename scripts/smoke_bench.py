@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""CI smoke benchmark: one measured run, wall-clock recorded to JSON.
+
+Runs ``run_two_tier("rocksdb", "klocs")`` once — the profile-defining
+single run — with the cache bypassed, and writes host wall-clock plus
+the run's headline metrics to ``BENCH_smoke.json``. CI uploads the file
+per commit so the performance trajectory of the simulator hot path stays
+visible; the virtual-time metrics double as a cheap determinism canary
+(they must never change without a ``SIM_VERSION`` bump).
+
+Usage: python scripts/smoke_bench.py [out.json]
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+# The point is to measure simulation, not replay a cached result.
+os.environ.setdefault("REPRO_NO_CACHE", "1")
+
+from repro.experiments.defaults import ops_for, seed
+from repro.experiments.runner import run_two_tier
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_smoke.json"
+    workload, policy = "rocksdb", "klocs"
+    ops = ops_for(workload)
+
+    start = time.perf_counter()
+    run = run_two_tier(workload, policy, ops=ops)
+    wall_s = time.perf_counter() - start
+
+    record = {
+        "bench": "smoke_single_run",
+        "workload": workload,
+        "policy": policy,
+        "ops": ops,
+        "seed": seed(),
+        "quick": bool(os.environ.get("REPRO_QUICK")),
+        "wall_clock_s": round(wall_s, 3),
+        "throughput_ops_per_sec": run.throughput,
+        "elapsed_virtual_ns": run.result.elapsed_ns,
+        "migrations_down": run.migrations_down,
+        "migrations_up": run.migrations_up,
+        "fast_ref_fraction": run.fast_ref_fraction,
+        "python": platform.python_version(),
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"{workload}/{policy} ops={ops}: {wall_s:.2f}s wall, "
+          f"{run.throughput:,.0f} ops/s virtual -> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

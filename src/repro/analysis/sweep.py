@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro.experiments.runner import run_two_tier
+from repro.experiments.cache import two_tier_spec
+from repro.experiments.parallel import run_specs
 from repro.metrics.report import format_table
 
 #: Grid keys forwarded to :func:`run_two_tier`.
@@ -117,27 +118,38 @@ def run_sweep(
 ) -> SweepResult:
     """Cartesian sweep: every (workload, policy, grid point) combination.
 
-    ``grid`` keys must come from :data:`SWEEPABLE`.
+    ``grid`` keys must come from :data:`SWEEPABLE`. Grid cells are
+    independent runs, so they dispatch through the parallel experiment
+    engine (``REPRO_JOBS`` workers, on-disk result cache) and merge back
+    in enumeration order.
     """
     for key in grid:
         if key not in SWEEPABLE:
             raise ValueError(f"cannot sweep {key!r}; sweepable: {SWEEPABLE}")
     result = SweepResult()
     keys = list(grid)
-    for values in itertools.product(*(grid[k] for k in keys)):
-        params = dict(zip(keys, values))
-        for workload in workloads:
-            for policy in policies:
-                run = run_two_tier(workload, policy, ops=ops, **params)
-                result.rows.append(
-                    SweepRow(
-                        workload=workload,
-                        policy=policy,
-                        params=dict(params),
-                        throughput=run.throughput,
-                        fast_ref_fraction=run.fast_ref_fraction,
-                        migrations_down=run.migrations_down,
-                        migrations_up=run.migrations_up,
-                    )
-                )
+    cells = [
+        (workload, policy, dict(zip(keys, values)))
+        for values in itertools.product(*(grid[k] for k in keys))
+        for workload in workloads
+        for policy in policies
+    ]
+    runs = run_specs(
+        [
+            two_tier_spec(workload, policy, ops=ops, **params)
+            for workload, policy, params in cells
+        ]
+    )
+    for (workload, policy, params), run in zip(cells, runs):
+        result.rows.append(
+            SweepRow(
+                workload=workload,
+                policy=policy,
+                params=dict(params),
+                throughput=run.throughput,
+                fast_ref_fraction=run.fast_ref_fraction,
+                migrations_down=run.migrations_down,
+                migrations_up=run.migrations_up,
+            )
+        )
     return result

@@ -23,13 +23,20 @@ class Clock:
     elapsed whenever time advances past its next deadline.
     """
 
+    #: Sentinel deadline meaning "no periodic work registered".
+    _NEVER = float("inf")
+
     def __init__(self, start_ns: int = 0) -> None:
         if start_ns < 0:
             raise ValueError(f"clock cannot start in the past: {start_ns}")
         self._now = start_ns
-        # (next_deadline, period, callback) — small list, scanned linearly.
+        # (next_deadline, period, callback) — small list, scanned linearly,
+        # but only when the cached minimum deadline is actually due.
         self._periodic: List[Tuple[int, int, Callable[[int], None]]] = []
         self._firing = False
+        # Cached min deadline across _periodic; advance() compares against
+        # this instead of scanning the daemon list on every call.
+        self._next_deadline = Clock._NEVER
 
     def now(self) -> int:
         """Current virtual time in nanoseconds."""
@@ -47,9 +54,12 @@ class Clock:
         """
         if delta_ns < 0:
             raise ValueError(f"cannot advance clock by negative delta: {delta_ns}")
-        self._now += delta_ns
-        self._fire_due()
-        return self._now
+        now = self._now + delta_ns
+        self._now = now
+        # Fast path: nothing due. Two comparisons, no daemon scan.
+        if now >= self._next_deadline:
+            self._fire_due()
+        return now
 
     def schedule_periodic(
         self, period_ns: int, callback: Callable[[int], None], *, phase_ns: int = 0
@@ -65,6 +75,8 @@ class Clock:
             raise ValueError(f"period must be positive: {period_ns}")
         first = self._now + period_ns + phase_ns
         self._periodic.append((first, period_ns, callback))
+        if first < self._next_deadline:
+            self._next_deadline = first
 
     def _fire_due(self) -> None:
         # Re-entrancy guard: a callback may advance the clock (its own work
@@ -92,6 +104,10 @@ class Clock:
                         fired = True
         finally:
             self._firing = False
+            self._next_deadline = min(
+                (deadline for deadline, _period, _cb in self._periodic),
+                default=Clock._NEVER,
+            )
 
     def __repr__(self) -> str:
         return f"Clock(now={self._now}ns, daemons={len(self._periodic)})"

@@ -50,6 +50,10 @@ class ObjectSpec:
 class KernelObjectType(enum.Enum):
     """Table 1: the kernel objects that form the basis of this work."""
 
+    # Identity hash, mirroring PageOwner: registry coverage checks hash a
+    # type on every allocation; id() is valid for singleton members.
+    __hash__ = object.__hash__
+
     #: Per-file inode (ext4_inode_cache is ~1KB in Linux 4.17).
     INODE = ObjectSpec(1 * KB, Subsystem.BOTH, AllocatorKind.SLAB, PageOwner.SLAB)
     #: Block I/O structure (bio) for conversion of metadata to disk blocks.

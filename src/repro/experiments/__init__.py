@@ -6,6 +6,7 @@ reports, and the benchmark suite under ``benchmarks/`` drives these
 functions one-to-one.
 """
 
+from repro.experiments.cache import ResultCache, RunSpec, SIM_VERSION, two_tier_spec
 from repro.experiments.fig2 import (
     run_fig2a_footprint,
     run_fig2b_scaling,
@@ -17,6 +18,7 @@ from repro.experiments.fig5 import run_fig5a_optane, run_fig5b_sources, run_fig5
 from repro.experiments.fig6 import run_figure6
 from repro.experiments.percpu_ablation import run_percpu_ablation
 from repro.experiments.prefetch import run_prefetch_study
+from repro.experiments.parallel import default_jobs, run_specs
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.runner import TwoTierRun, run_two_tier
 from repro.experiments.table6 import run_table6_overhead
@@ -24,6 +26,12 @@ from repro.experiments.table6 import run_table6_overhead
 __all__ = [
     "run_two_tier",
     "TwoTierRun",
+    "RunSpec",
+    "ResultCache",
+    "SIM_VERSION",
+    "two_tier_spec",
+    "run_specs",
+    "default_jobs",
     "run_fig2a_footprint",
     "run_fig2b_scaling",
     "run_fig2c_references",

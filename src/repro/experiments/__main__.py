@@ -6,11 +6,14 @@ Usage::
     python -m repro.experiments fig4
     python -m repro.experiments fig5b --ops 8000
     REPRO_QUICK=1 python -m repro.experiments fig6
+    python -m repro.experiments fig4 --jobs 8         # parallel sweep
+    python -m repro.experiments fig4 --no-cache       # force recompute
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.registry import EXPERIMENTS
@@ -37,7 +40,29 @@ def main(argv=None) -> int:
         help="audit the report against the paper's expected bands "
         "(fig4/fig5a only)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for grid experiments "
+        "(default: REPRO_JOBS or all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and don't write the .repro_cache result cache",
+    )
     args = parser.parse_args(argv)
+
+    # The engine reads these from the environment so every entry point
+    # (figure runners, run_sweep, examples) honors one mechanism.
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
 
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)

@@ -11,8 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.cache import two_tier_spec
 from repro.experiments.defaults import EVAL_WORKLOADS, ops_for
-from repro.experiments.runner import TwoTierRun, run_two_tier
+from repro.experiments.parallel import run_specs
+from repro.experiments.runner import TwoTierRun
 from repro.metrics.report import format_table
 
 #: Bar order follows the figure.
@@ -59,18 +61,36 @@ def run_figure4(
     *,
     ops: Optional[int] = None,
 ) -> Fig4Report:
-    """Regenerate Figure 4 (full: 4 workloads x 7 strategies)."""
+    """Regenerate Figure 4 (full: 4 workloads x 7 strategies).
+
+    The (workload, policy) grid — plus an ``all_slow`` baseline cell per
+    workload when the policy list omits it — is dispatched through the
+    parallel engine and merged back in grid order.
+    """
     report = Fig4Report()
+    grid: List[tuple] = []
     for workload in workloads:
         budget = ops if ops is not None else ops_for(workload)
+        for policy in policies:
+            grid.append((workload, policy, budget))
+        if "all_slow" not in policies:
+            grid.append((workload, "all_slow", budget))
+    results = run_specs(
+        [two_tier_spec(w, p, ops=budget) for w, p, budget in grid]
+    )
+
+    runs_by: Dict[str, Dict[str, TwoTierRun]] = {}
+    for (workload, policy, _budget), run in zip(grid, results):
+        runs_by.setdefault(workload, {})[policy] = run
+    for workload in workloads:
         by_policy: Dict[str, float] = {}
         for policy in policies:
-            run = run_two_tier(workload, policy, ops=budget)
+            run = runs_by[workload][policy]
             by_policy[policy] = run.throughput
             report.runs.append(run)
         base = by_policy.get("all_slow")
         if base is None:
-            base = run_two_tier(workload, "all_slow", ops=budget).throughput
+            base = runs_by[workload]["all_slow"].throughput
         report.speedups[workload] = {
             policy: tput / base for policy, tput in by_policy.items()
         }

@@ -6,12 +6,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.defaults import SCALE_FACTOR, ops_for, seed
-from repro.experiments.runner import TwoTierRun, make_workload, run_two_tier
+from repro.experiments.cache import optane_spec, two_tier_spec
+from repro.experiments.defaults import ops_for
+from repro.experiments.parallel import run_specs
+from repro.experiments.runner import TwoTierRun, run_optane_interference
 from repro.kloc.registry import KlocRegistry
 from repro.metrics.report import format_table
-from repro.platforms.optane import build_optane_kernel
-from repro.workloads.interference import StreamingInterferer
 
 # ----------------------------------------------------------------------
 # Fig 5a — Optane Memory Mode
@@ -38,28 +38,9 @@ class Fig5aReport:
         )
 
 
-def _optane_throughput(workload: str, policy: str, ops: int) -> float:
-    """§6.2's interference experiment: run, interfere, migrate, measure.
-
-    The workload starts on socket 0. A third of the way in, a streaming
-    co-runner contends for socket 0's bandwidth and the scheduler moves
-    the task to socket 1; the policy decides what data follows. Reported
-    throughput covers the post-interference phase, where placement
-    matters.
-    """
-    kernel, _pol = build_optane_kernel(policy, scale_factor=SCALE_FACTOR, seed=seed())
-    wl = make_workload(kernel, workload)
-    wl.setup()
-    warm = max(1, ops // 3)
-    wl.run(warm)
-
-    interferer = StreamingInterferer(kernel, "node0", streams=3)
-    interferer.start()
-    kernel.set_task_node(1)
-    result = wl.run(ops - warm)
-    interferer.stop()
-    wl.teardown()
-    return result.throughput_ops_per_sec
+#: Retained alias: the measurement body now lives in the shared runner so
+#: the parallel engine can dispatch it (see ``run_optane_interference``).
+_optane_throughput = run_optane_interference
 
 
 def run_fig5a_optane(
@@ -69,11 +50,22 @@ def run_fig5a_optane(
     ops: Optional[int] = None,
 ) -> Fig5aReport:
     report = Fig5aReport()
+    grid = [
+        (workload, policy, ops if ops is not None else ops_for(workload))
+        for workload in workloads
+        for policy in policies
+    ]
+    results = run_specs(
+        [optane_spec(w, p, ops=budget) for w, p, budget in grid]
+    )
+    tputs: Dict[str, Dict[str, float]] = {}
+    for (workload, policy, _budget), tput in zip(grid, results):
+        tputs.setdefault(workload, {})[policy] = tput
     for workload in workloads:
-        budget = ops if ops is not None else ops_for(workload)
-        tputs = {p: _optane_throughput(workload, p, budget) for p in policies}
-        base = tputs["all_remote"]
-        report.speedups[workload] = {p: t / base for p, t in tputs.items()}
+        base = tputs[workload]["all_remote"]
+        report.speedups[workload] = {
+            p: t / base for p, t in tputs[workload].items()
+        }
     return report
 
 
@@ -115,8 +107,9 @@ def run_fig5b_sources(
     ops: Optional[int] = None,
 ) -> Fig5bReport:
     report = Fig5bReport()
-    for policy in policies:
-        report.rows.append(run_two_tier("rocksdb", policy, ops=ops))
+    report.rows.extend(
+        run_specs([two_tier_spec("rocksdb", p, ops=ops) for p in policies])
+    )
     return report
 
 
@@ -161,17 +154,26 @@ def run_fig5c_objtypes(
     fast memory"), which our uncovered-type placement implements.
     """
     report = Fig5cReport()
+    grid: List[tuple] = []
     for workload in workloads:
-        base_tput: Optional[float] = None
         covered: List[str] = []
-        by_group: Dict[str, float] = {}
         for group in FIG5C_ORDER:
             if group != "none":
                 covered.append(group)
             registry = KlocRegistry.groups(*covered) if covered else KlocRegistry.none()
-            run = run_two_tier("%s" % workload, "klocs", ops=ops, registry=registry)
-            if base_tput is None:
-                base_tput = run.throughput
-            by_group[group] = run.throughput / base_tput
-        report.speedups[workload] = by_group
+            grid.append((workload, group, registry))
+    results = run_specs(
+        [
+            two_tier_spec(w, "klocs", ops=ops, registry=registry)
+            for w, _g, registry in grid
+        ]
+    )
+    tput_by: Dict[str, Dict[str, float]] = {}
+    for (workload, group, _registry), run in zip(grid, results):
+        tput_by.setdefault(workload, {})[group] = run.throughput
+    for workload in workloads:
+        base_tput = tput_by[workload][FIG5C_ORDER[0]]
+        report.speedups[workload] = {
+            group: tput / base_tput for group, tput in tput_by[workload].items()
+        }
     return report

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.units import GB
+from repro.experiments.cache import two_tier_spec
 from repro.experiments.defaults import SWEEP_WORKLOADS, ops_for
-from repro.experiments.runner import run_two_tier
+from repro.experiments.parallel import run_specs
 from repro.metrics.report import format_table
 
 CAPACITIES_GB = (4, 8, 32)
@@ -65,31 +66,43 @@ def run_figure6(
     ops: Optional[int] = None,
 ) -> Fig6Report:
     report = Fig6Report()
-    # Baselines per (workload, capacity, ratio): all_slow throughput.
+    # The full (capacity, ratio, policy+all_slow baseline, workload) grid
+    # goes through the engine in one fan-out; cells are rebuilt in the
+    # original nesting order afterwards.
+    grid: List[tuple] = []
     for capacity in capacities_gb:
         for ratio in ratios:
-            base: Dict[str, float] = {}
-            for workload in workloads:
-                budget = ops if ops is not None else ops_for(workload)
-                base[workload] = run_two_tier(
-                    workload,
-                    "all_slow",
-                    ops=budget,
-                    bandwidth_ratio=ratio,
-                    fast_bytes_paper=capacity * GB,
-                ).throughput
-            for policy in policies:
-                per: Dict[str, float] = {}
+            for policy in ("all_slow",) + tuple(policies):
                 for workload in workloads:
                     budget = ops if ops is not None else ops_for(workload)
-                    run = run_two_tier(
-                        workload,
-                        policy,
-                        ops=budget,
-                        bandwidth_ratio=ratio,
-                        fast_bytes_paper=capacity * GB,
+                    grid.append((capacity, ratio, policy, workload, budget))
+    results = run_specs(
+        [
+            two_tier_spec(
+                workload,
+                policy,
+                ops=budget,
+                bandwidth_ratio=ratio,
+                fast_bytes_paper=capacity * GB,
+            )
+            for capacity, ratio, policy, workload, budget in grid
+        ]
+    )
+    tput: Dict[tuple, float] = {
+        (capacity, ratio, policy, workload): run.throughput
+        for (capacity, ratio, policy, workload, _budget), run in zip(grid, results)
+    }
+
+    for capacity in capacities_gb:
+        for ratio in ratios:
+            for policy in policies:
+                per: Dict[str, float] = {
+                    workload: (
+                        tput[(capacity, ratio, policy, workload)]
+                        / tput[(capacity, ratio, "all_slow", workload)]
                     )
-                    per[workload] = run.throughput / base[workload]
+                    for workload in workloads
+                }
                 values = list(per.values())
                 report.cells.append(
                     Fig6Cell(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -16,17 +17,14 @@ from repro.workloads.base import WorkloadResult
 
 
 def make_workload(kernel: Kernel, name: str, *, scale_factor: int = SCALE_FACTOR):
-    """Instantiate a workload with its default config rescaled."""
+    """Instantiate a workload with its default config rescaled.
+
+    ``dataclasses.replace`` keeps every other config field as the
+    workload's default, so new fields can't be silently dropped here.
+    """
     workload_cls = WORKLOADS[name]
     probe_cfg = workload_cls(kernel, None).config
-    cfg = type(probe_cfg)(
-        name=probe_cfg.name,
-        dataset_bytes=probe_cfg.dataset_bytes,
-        scale_factor=scale_factor,
-        num_threads=probe_cfg.num_threads,
-        value_bytes=probe_cfg.value_bytes,
-        extra=probe_cfg.extra,
-    )
+    cfg = dataclasses.replace(probe_cfg, scale_factor=scale_factor)
     return workload_cls(kernel, cfg)
 
 
@@ -105,3 +103,41 @@ def run_two_tier(
     )
     wl.teardown()
     return run
+
+
+def run_optane_interference(
+    workload: str,
+    policy: str,
+    ops: int,
+    *,
+    scale_factor: int = SCALE_FACTOR,
+    run_seed: Optional[int] = None,
+) -> float:
+    """§6.2's interference experiment: run, interfere, migrate, measure.
+
+    The workload starts on socket 0. A third of the way in, a streaming
+    co-runner contends for socket 0's bandwidth and the scheduler moves
+    the task to socket 1; the policy decides what data follows. Reported
+    throughput covers the post-interference phase, where placement
+    matters.
+    """
+    from repro.platforms.optane import build_optane_kernel
+    from repro.workloads.interference import StreamingInterferer
+
+    kernel, _pol = build_optane_kernel(
+        policy,
+        scale_factor=scale_factor,
+        seed=run_seed if run_seed is not None else seed(),
+    )
+    wl = make_workload(kernel, workload, scale_factor=scale_factor)
+    wl.setup()
+    warm = max(1, ops // 3)
+    wl.run(warm)
+
+    interferer = StreamingInterferer(kernel, "node0", streams=3)
+    interferer.start()
+    kernel.set_task_node(1)
+    result = wl.run(ops - warm)
+    interferer.stop()
+    wl.teardown()
+    return result.throughput_ops_per_sec

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.core.units import MB
+from repro.experiments.cache import two_tier_spec
 from repro.experiments.defaults import SCALE_FACTOR
-from repro.experiments.runner import run_two_tier
+from repro.experiments.parallel import run_specs
 from repro.metrics.report import format_table
 from repro.platforms.twotier import PAPER_FAST_BYTES
 
@@ -57,7 +58,9 @@ def run_table6_overhead(
     ops: Optional[int] = None,
 ) -> Table6Report:
     report = Table6Report()
-    for workload in workloads:
-        run = run_two_tier(workload, "klocs", ops=ops)
+    runs = run_specs(
+        [two_tier_spec(w, "klocs", ops=ops) for w in workloads]
+    )
+    for workload, run in zip(workloads, runs):
         report.metadata_bytes[workload] = run.kloc_metadata_bytes
     return report

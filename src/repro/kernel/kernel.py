@@ -60,6 +60,9 @@ class Kernel:
         self.cpus = CpuSet(platform.num_cpus)
 
         self.topology = MemoryTopology([platform.fast, platform.slow])
+        # Direct name → tier map for the access hot path (skips the
+        # topology's checked lookup on every charged reference).
+        self._tiers = self.topology.tiers
         self.engine = MigrationEngine(self.topology, self.clock, platform.migration)
         self.storage = NVMeDevice(platform.storage)
         self.thp = CompoundRegistry()
@@ -239,11 +242,12 @@ class Kernel:
     ) -> int:
         if not obj.live:
             raise SimulationError(f"access to freed object {obj!r}")
+        frame = obj.frame
         size = nbytes if nbytes is not None else obj.size_bytes
-        cost = self._charge_access(obj.frame, size, write=write)
+        cost = self._charge_access(frame, size, write=write)
         self.kernel_refs += 1
         self.kernel_ref_bytes += size
-        self.refs_by_owner[obj.frame.owner] += 1
+        self.refs_by_owner[frame.owner] += 1
         if self.kloc_manager is not None and obj.knode_id is not None:
             self.kloc_manager.note_access(obj, cpu=cpu)
         return cost
@@ -254,31 +258,34 @@ class Kernel:
         if not frame.live:
             raise SimulationError(f"access to freed frame {frame!r}")
         cost = self._charge_access(frame, nbytes, write=write)
-        if frame.owner is PageOwner.APP:
+        owner = frame.owner
+        if owner is PageOwner.APP:
             self.app_refs += 1
             self.app_ref_bytes += nbytes
         else:
             self.kernel_refs += 1
             self.kernel_ref_bytes += nbytes
-        self.refs_by_owner[frame.owner] += 1
+        self.refs_by_owner[owner] += 1
         return cost
 
     def _charge_access(self, frame: PageFrame, nbytes: int, *, write: bool) -> int:
+        tier_name = frame.tier_name
+        owner = frame.owner
         if self.numa_mode:
-            node = self.nodes[frame.tier_name]
-            cost = node.access_cost_ns(
+            cost = self.nodes[tier_name].access_cost_ns(
                 frame.fid, nbytes, write=write, from_node=self.task_node
             )
         else:
-            cost = self.topology.tier(frame.tier_name).access_cost_ns(
-                nbytes, write=write
-            )
-        key = (frame.tier_name, frame.owner is not PageOwner.APP)
-        self.refs_by_tier[key] = self.refs_by_tier.get(key, 0) + 1
-        cost_key = (frame.owner, frame.tier_name)
-        self.access_ns_by[cost_key] = self.access_ns_by.get(cost_key, 0) + cost
-        frame.record_access(self.clock.now(), write=write)
-        self.clock.advance(cost)
+            cost = self._tiers[tier_name].access_cost_ns(nbytes, write=write)
+        refs_by_tier = self.refs_by_tier
+        key = (tier_name, owner is not PageOwner.APP)
+        refs_by_tier[key] = refs_by_tier.get(key, 0) + 1
+        access_ns_by = self.access_ns_by
+        cost_key = (owner, tier_name)
+        access_ns_by[cost_key] = access_ns_by.get(cost_key, 0) + cost
+        clock = self.clock
+        frame.record_access(clock.now(), write=write)
+        clock.advance(cost)
         return cost
 
     # ------------------------------------------------------------------

@@ -25,6 +25,11 @@ class PageOwner(enum.Enum):
     BLOCK_IO = "block_io"
     KLOC_META = "kloc_meta"
 
+    # Identity hash: members are singletons, so id() is a valid hash and
+    # skips Enum's per-call name hashing on the access-accounting hot path
+    # (PageOwner keys ~1M counter-dict lookups per run).
+    __hash__ = object.__hash__
+
     @property
     def is_kernel(self) -> bool:
         """True for every category except application pages."""
