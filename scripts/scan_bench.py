@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""Scan-heavy benchmark: indexed resident-frame scanners vs. the legacy
+O(all frames) walk.
+
+The workload-level benches (``smoke_bench.py``) are dominated by per-op
+costs (page-cache radix walks, writeback, access charging), which hides
+the scanners. This bench isolates the regime §3.3 and Fig 5 care about —
+long stretches of virtual time where the periodic scanners wake over a
+large resident set that mostly *doesn't* need to move:
+
+* **numa_\\*** phases (fig5-style, Optane Memory Mode, AutoNUMA): a large
+  application working set is allocated on socket 0, the scheduler moves
+  the task to socket 1 (the §6.2 interference event), AutoNUMA drains
+  the away set batch-by-batch, and then the system sits in steady state
+  with the 4ms scanner ticking over fully-local memory. The legacy walk
+  pays O(all frames) per tick forever; the indexed scanner pays
+  O(away residents), which goes to zero once migration settles.
+* **lru_\\*** phases (two-tier, Nimble++): a resident set several times
+  the fast tier's size, mostly cold in slow memory, with a light rotating
+  touch stream. The legacy walk visits every live frame per 100ms scan;
+  the indexed scanner visits only fast residents (aging) plus the
+  referenced journal (promotion candidates).
+
+Both modes run in the same process: the baseline forces
+``REPRO_NO_FRAME_INDEX=1`` (the pre-index brute-force walk), the indexed
+mode clears it. Simulated behavior is bit-identical by construction; the
+bench asserts it by fingerprinting virtual time, migrations, residency,
+and scan counters after every section, and refuses to report a speedup
+over diverging runs.
+
+Writes ``BENCH_scan.json`` with per-phase wall-clock for both modes.
+
+Usage::
+
+    PYTHONPATH=src python scripts/scan_bench.py            # full bench
+    PYTHONPATH=src python scripts/scan_bench.py --quick    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.mem.frame import PageFrame  # noqa: E402
+from repro.platforms.optane import build_optane_kernel  # noqa: E402
+from repro.platforms.twotier import build_two_tier_kernel  # noqa: E402
+from repro.policies.autonuma import NUMA_SCAN_PERIOD_NS  # noqa: E402
+
+#: Bytes per synthetic touch — small, so access-charging cost stays off
+#: the critical path and the scanners dominate.
+TOUCH_BYTES = 64
+
+
+def _advance_ticks(
+    kernel,
+    period_ns: int,
+    ticks: int,
+    touch_frames: Optional[List[PageFrame]] = None,
+    touches_per_tick: int = 0,
+) -> None:
+    """Advance virtual time through ``ticks`` scanner periods.
+
+    Each tick optionally touches a deterministic rotating window of
+    ``touches_per_tick`` frames first, so the scanners see a realistic
+    (but identical-across-modes) reference stream.
+    """
+    clock = kernel.clock
+    access = kernel.access_frame
+    for tick in range(ticks):
+        if touch_frames and touches_per_tick:
+            n = len(touch_frames)
+            base = tick * touches_per_tick
+            for j in range(touches_per_tick):
+                frame = touch_frames[(base + j) % n]
+                if frame.live:
+                    access(frame, TOUCH_BYTES)
+        clock.advance(period_ns)
+
+
+def _residency(kernel) -> Dict[str, int]:
+    return {
+        name: tier.used_pages for name, tier in kernel.topology.tiers.items()
+    }
+
+
+def _run_numa_phases(
+    params: Dict[str, int], timings: Dict[str, float]
+) -> Dict[str, object]:
+    """Fig5-style AutoNUMA run; returns the section fingerprint."""
+    pages = params["numa_pages"]
+    sf = params["numa_scale_factor"]
+
+    t0 = time.perf_counter()
+    kernel, pol = build_optane_kernel(
+        "autonuma", scale_factor=sf, retired_limit=0
+    )
+    frames = kernel.alloc_app_pages(pages)
+    timings["numa_populate"] = time.perf_counter() - t0
+
+    # Interference: the task moves to socket 1; AutoNUMA drains the away
+    # set at `batch` frames per 4ms wakeup. Run enough ticks to finish.
+    t0 = time.perf_counter()
+    kernel.set_task_node(1)
+    drain_ticks = math.ceil(pages / pol.batch) + 4
+    _advance_ticks(kernel, NUMA_SCAN_PERIOD_NS, drain_ticks)
+    timings["numa_interfere"] = time.perf_counter() - t0
+
+    # Steady state: everything is local; the scanner keeps waking anyway.
+    t0 = time.perf_counter()
+    _advance_ticks(
+        kernel,
+        NUMA_SCAN_PERIOD_NS,
+        params["numa_steady_ticks"],
+        touch_frames=frames,
+        touches_per_tick=params["touches_per_tick"],
+    )
+    timings["numa_steady"] = time.perf_counter() - t0
+
+    return {
+        "clock_ns": kernel.clock.now(),
+        "migrated_app": pol.migrated_app,
+        "migrations": kernel.topology.migrations_between("node0", "node1"),
+        "residency": _residency(kernel),
+        "app_refs": kernel.app_refs,
+    }
+
+
+def _run_lru_phases(
+    params: Dict[str, int], timings: Dict[str, float]
+) -> Dict[str, object]:
+    """Two-tier Nimble++ run; returns the section fingerprint."""
+    sf = params["lru_scale_factor"]
+
+    t0 = time.perf_counter()
+    kernel, pol = build_two_tier_kernel(
+        "nimble++", scale_factor=sf, retired_limit=0
+    )
+    frames = kernel.alloc_app_pages(params["lru_pages"])
+    # Release some fast-tier pages so free memory sits above the kswapd
+    # watermark: steady state then ages cold fast pages without demoting
+    # them (no pressure), which is exactly the no-op regime the legacy
+    # walk pays full price for.
+    fast_resident = [f for f in frames if f.tier_name == "fast"]
+    kernel.free_app_pages(fast_resident[: params["lru_free_fast"]])
+    slow_resident = [f for f in frames if f.live and f.tier_name == "slow"]
+    timings["lru_populate"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    _advance_ticks(
+        kernel,
+        kernel.platform.lru.scan_period_ns,
+        params["lru_steady_ticks"],
+        touch_frames=slow_resident,
+        touches_per_tick=params["touches_per_tick"],
+    )
+    timings["lru_steady"] = time.perf_counter() - t0
+
+    lru = pol.lru
+    return {
+        "clock_ns": kernel.clock.now(),
+        "scans": lru.scans,
+        "pages_scanned": lru.pages_scanned,
+        "promoted": lru.promoted,
+        "demoted": lru.demoted,
+        "migrations_down": kernel.topology.migrations_between("fast", "slow"),
+        "migrations_up": kernel.topology.migrations_between("slow", "fast"),
+        "residency": _residency(kernel),
+        "app_refs": kernel.app_refs,
+    }
+
+
+def run_suite(
+    indexed: bool, params: Dict[str, int]
+) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """One full bench pass in one mode; returns (timings, fingerprint)."""
+    if indexed:
+        os.environ.pop("REPRO_NO_FRAME_INDEX", None)
+    else:
+        os.environ["REPRO_NO_FRAME_INDEX"] = "1"
+    try:
+        timings: Dict[str, float] = {}
+        fingerprint = {
+            "numa": _run_numa_phases(params, timings),
+            "lru": _run_lru_phases(params, timings),
+        }
+        return timings, fingerprint
+    finally:
+        os.environ.pop("REPRO_NO_FRAME_INDEX", None)
+
+
+FULL_PARAMS: Dict[str, int] = {
+    # Optane node capacity is 128GB/sf; sf=1024 → 32768 pages per node.
+    "numa_scale_factor": 1024,
+    "numa_pages": 24_000,
+    "numa_steady_ticks": 2_500,
+    # Two-tier fast capacity is 8GB/sf; sf=256 → 8192 fast, 81920 slow.
+    "lru_scale_factor": 256,
+    "lru_pages": 40_000,
+    "lru_free_fast": 600,
+    "lru_steady_ticks": 400,
+    "touches_per_tick": 32,
+}
+
+QUICK_PARAMS: Dict[str, int] = {
+    "numa_scale_factor": 1024,
+    "numa_pages": 6_000,
+    "numa_steady_ticks": 400,
+    "lru_scale_factor": 1024,
+    "lru_pages": 10_000,
+    "lru_free_fast": 300,
+    "lru_steady_ticks": 120,
+    "touches_per_tick": 32,
+}
+
+WARMUP_PARAMS: Dict[str, int] = {
+    "numa_scale_factor": 1024,
+    "numa_pages": 1_000,
+    "numa_steady_ticks": 20,
+    "lru_scale_factor": 1024,
+    "lru_pages": 2_000,
+    "lru_free_fast": 100,
+    "lru_steady_ticks": 10,
+    "touches_per_tick": 8,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_scan.json",
+        help="where to write the results JSON",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run (seconds, not tens of seconds)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero if overall speedup falls below this "
+        "(0 = report only; wall-clock gates are flaky on shared CI)",
+    )
+    args = parser.parse_args(argv)
+
+    params = QUICK_PARAMS if args.quick else FULL_PARAMS
+
+    # Warm both code paths (imports, allocator caches, branch history)
+    # so first-run bias doesn't flatter either mode.
+    for indexed in (False, True):
+        run_suite(indexed, WARMUP_PARAMS)
+
+    base_times, base_fp = run_suite(False, params)
+    idx_times, idx_fp = run_suite(True, params)
+
+    if base_fp != idx_fp:
+        print("FINGERPRINT MISMATCH — modes diverged; timings are invalid")
+        print("baseline:", json.dumps(base_fp, indent=1, sort_keys=True))
+        print("indexed :", json.dumps(idx_fp, indent=1, sort_keys=True))
+        return 2
+
+    phases = []
+    for name in base_times:
+        b, i = base_times[name], idx_times[name]
+        phases.append(
+            {
+                "phase": name,
+                "baseline_s": round(b, 4),
+                "indexed_s": round(i, 4),
+                "speedup": round(b / i, 2) if i > 0 else None,
+            }
+        )
+    total_base = sum(base_times.values())
+    total_idx = sum(idx_times.values())
+    speedup = total_base / total_idx if total_idx > 0 else float("inf")
+
+    report = {
+        "bench": "scan_bench",
+        "baseline": "REPRO_NO_FRAME_INDEX=1 (pre-index O(all frames) scanner walks)",
+        "quick": args.quick,
+        "params": params,
+        "phases": phases,
+        "total_baseline_s": round(total_base, 4),
+        "total_indexed_s": round(total_idx, 4),
+        "speedup": round(speedup, 2),
+        "equivalent": True,
+        "fingerprint": base_fp,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
+
+    width = max(len(p["phase"]) for p in phases)
+    print(f"{'phase'.ljust(width)}  baseline_s  indexed_s  speedup")
+    for p in phases:
+        print(
+            f"{p['phase'].ljust(width)}  {p['baseline_s']:>10.3f}  "
+            f"{p['indexed_s']:>9.3f}  {p['speedup']:>6.2f}x"
+        )
+    print(
+        f"{'TOTAL'.ljust(width)}  {total_base:>10.3f}  {total_idx:>9.3f}  "
+        f"{speedup:>6.2f}x  -> {args.out}"
+    )
+
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"speedup {speedup:.2f}x below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

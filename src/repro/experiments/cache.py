@@ -43,7 +43,11 @@ from repro.workloads.base import WorkloadResult
 #: results (cost models, policy logic, daemon scheduling, workloads);
 #: leave alone for pure refactors/performance work. Stale cache entries
 #: are ignored automatically because the tag is part of the hash key.
-SIM_VERSION = "1"
+#: History: "2" = reset_reference_counters now also zeroes the
+#: access-time decomposition, and migration resets per-frame hotness
+#: state (lru_age / scan_ref_streak) on tier change. The resident-frame
+#: index refactor itself is bit-identical and did NOT bump this.
+SIM_VERSION = "2"
 
 
 @dataclasses.dataclass(frozen=True)

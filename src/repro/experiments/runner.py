@@ -74,6 +74,10 @@ def run_two_tier(
         seed=run_seed if run_seed is not None else seed(),
         registry=registry,
         readahead_enabled=readahead_enabled,
+        # This runner never reads lifetime metrics, so the retired-frame
+        # log is dead weight — don't let it grow with every freed page.
+        # (Fig 2's characterization builds its own kernel, uncapped.)
+        retired_limit=0,
     )
     wl = make_workload(kernel, workload, scale_factor=scale_factor)
     wl.setup()
@@ -128,6 +132,7 @@ def run_optane_interference(
         policy,
         scale_factor=scale_factor,
         seed=run_seed if run_seed is not None else seed(),
+        retired_limit=0,  # throughput-only measurement; no lifetime reads
     )
     wl = make_workload(kernel, workload, scale_factor=scale_factor)
     wl.setup()

@@ -51,6 +51,7 @@ class Kernel:
         seed: int = 42,
         page_cache_max_pages: Optional[int] = None,
         readahead_enabled: bool = True,
+        retired_limit: Optional[int] = None,
     ) -> None:
         self.platform = platform
         self.policy = policy
@@ -59,7 +60,9 @@ class Kernel:
         self.num_cpus = platform.num_cpus
         self.cpus = CpuSet(platform.num_cpus)
 
-        self.topology = MemoryTopology([platform.fast, platform.slow])
+        self.topology = MemoryTopology(
+            [platform.fast, platform.slow], retired_limit=retired_limit
+        )
         # Direct name → tier map for the access hot path (skips the
         # topology's checked lookup on every charged reference).
         self._tiers = self.topology.tiers
@@ -422,6 +425,9 @@ class Kernel:
         self.app_ref_bytes = 0
         self.refs_by_owner = {o: 0 for o in PageOwner}
         self.refs_by_tier = {}
+        # Time decomposition must cover the same window as the reference
+        # split, or steady-state reports silently include the load phase.
+        self.access_ns_by = {}
 
     def fast_ref_fraction(self, fast_tier: str = "fast") -> float:
         """Fraction of references served by the fast tier — the quantity

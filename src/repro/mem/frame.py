@@ -69,6 +69,8 @@ class PageFrame:
         "migrations",
         "lru_age",
         "scan_ref_streak",
+        "scan_ref_round",
+        "journal",
         "compound_id",
     )
 
@@ -103,6 +105,14 @@ class PageFrame:
         #: Consecutive scan windows in which this page was referenced —
         #: Linux's two-touch activation rule for promotion.
         self.scan_ref_streak = 0
+        #: Scan round at which ``scan_ref_streak`` was last counted; lets
+        #: the indexed scanner update streaks lazily (only when a frame is
+        #: actually referenced) instead of resetting every slow frame.
+        self.scan_ref_round = 0
+        #: Referenced-since-last-scan journal (owned by the topology).
+        #: Every ``record_access`` enrolls the frame, so promotion scans
+        #: can consider only frames actually touched in the window.
+        self.journal: Optional[dict] = None
         #: Transparent-huge-page membership: frames sharing a compound id
         #: form one 2MB THP and age/migrate as a unit (§5's future-work
         #: extension). None = ordinary 4KB page.
@@ -117,9 +127,17 @@ class PageFrame:
         return PAGE_SIZE
 
     def record_access(self, now_ns: int, *, write: bool) -> None:
-        """Update access bookkeeping; resets the LRU age (the page is hot)."""
+        """Update access bookkeeping; resets the LRU age (the page is hot).
+
+        Also enrolls the frame in the topology's referenced journal —
+        any access path that should count toward scan-based promotion
+        MUST come through here (the kernel's charged-access paths do).
+        """
         self.last_access = now_ns
         self.lru_age = 0
+        journal = self.journal
+        if journal is not None:
+            journal[self.fid] = self
         if write:
             self.writes += 1
             self.dirty = True

@@ -10,7 +10,7 @@ threads; the remap portion stays serialized.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.clock import Clock
 from repro.core.config import MigrationSpec
@@ -91,18 +91,27 @@ class MigrationEngine:
         if not movable:
             return result
 
-        # Copy cost: read each page from its source tier, write to dst.
-        copy_ns = 0
-        moved = 0
+        # The destination only fills up (nothing frees mid-batch), so the
+        # per-frame has_room check collapses to a headroom prefix.
+        headroom = dst.free_pages
+        if headroom < len(movable):
+            movable = movable[:headroom]
+
+        # Batch-group the copies by source tier: the per-page cost is
+        # state-independent within a batch, so one read-cost and one
+        # write-cost computation per (src, dst) pair prices the whole
+        # group — identical totals, O(tiers) instead of O(pages) calls.
+        per_src: Dict[str, int] = {}
         for frame in movable:
-            if not dst.has_room(1):
-                break  # destination filled up mid-batch; stop cleanly
-            src = self.topology.tier(frame.tier_name)
-            copy_ns += src.access_cost_ns(PAGE_SIZE, write=False)
-            copy_ns += dst.access_cost_ns(PAGE_SIZE, write=True)
+            per_src[frame.tier_name] = per_src.get(frame.tier_name, 0) + 1
             self.topology.move_frame(frame, dst_tier_name)
             result.frames.append(frame)
-            moved += 1
+        moved = len(movable)
+        copy_ns = 0
+        for src_name, count in per_src.items():
+            src = self.topology.tier(src_name)
+            copy_ns += src.bulk_access_cost_ns(PAGE_SIZE, count, write=False)
+            copy_ns += dst.bulk_access_cost_ns(PAGE_SIZE, count, write=True)
 
         # Nimble-style parallel migration: both the page copies and the
         # per-page remap work (page tables, batched TLB shootdowns) are

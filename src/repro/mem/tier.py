@@ -81,6 +81,28 @@ class MemoryTier:
         slowdown = 1 + self.contention_streams
         return latency + int(nbytes * slowdown / bw)
 
+    def bulk_access_cost_ns(
+        self, nbytes: int, count: int, *, write: bool = False
+    ) -> int:
+        """Cost of ``count`` independent ``nbytes`` accesses.
+
+        Bit-identical to summing ``count`` calls of :meth:`access_cost_ns`
+        (the unit cost is state-independent within a batch — contention
+        can't change mid-batch in the single-threaded simulator), but
+        prices the batch with one cost computation. Byte counters are
+        charged for the full batch.
+        """
+        if count <= 0:
+            return 0
+        unit = self.access_cost_ns(nbytes, write=write)
+        if count > 1:
+            extra = nbytes * (count - 1)
+            if write:
+                self.bytes_written += extra
+            else:
+                self.bytes_read += extra
+        return unit * count
+
     def utilization(self) -> float:
         return self.used_pages / self.capacity_pages
 

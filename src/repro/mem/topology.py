@@ -9,8 +9,9 @@ motivation and evaluation figures are built from.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence
+import os
+from collections import defaultdict, deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.errors import AllocationError, SimulationError
 from repro.core.config import TierSpec
@@ -18,10 +19,46 @@ from repro.mem.frame import PageFrame, PageOwner
 from repro.mem.tier import MemoryTier
 
 
-class MemoryTopology:
-    """All memory tiers in a platform plus global frame bookkeeping."""
+def _by_fid(frame: PageFrame) -> int:
+    return frame.fid
 
-    def __init__(self, tier_specs: Sequence[TierSpec]) -> None:
+
+def frame_index_enabled() -> bool:
+    """Whether scanners should use the resident-frame indexes.
+
+    ``REPRO_NO_FRAME_INDEX=1`` forces the brute-force global frame walk —
+    results are bit-identical either way (guarded by the equivalence
+    test); the knob exists for the scan benchmark's baseline and for
+    bisecting suspected index bugs.
+    """
+    return not os.environ.get("REPRO_NO_FRAME_INDEX")
+
+
+class MemoryTopology:
+    """All memory tiers in a platform plus global frame bookkeeping.
+
+    Besides the global ``frames`` table, the topology maintains
+    **resident-frame indexes** so periodic scanners touch only their
+    candidates instead of every live frame:
+
+    * per-tier views (``resident_frames``) — fid-keyed dicts of the
+      frames currently homed on one tier;
+    * per-(tier, owner) views (``resident_frames_by_owner``);
+    * a referenced-since-last-drain journal (``drain_referenced``), fed
+      by :meth:`PageFrame.record_access` and by allocation (a fresh
+      frame counts as touched, exactly as the brute-force scan's
+      ``last_access >= last_scan`` predicate sees it).
+
+    All three are updated at the three mutation points (`_make_frame`,
+    `free`, `move_frame`) and cross-checked by :meth:`check_invariants`.
+    """
+
+    def __init__(
+        self,
+        tier_specs: Sequence[TierSpec],
+        *,
+        retired_limit: Optional[int] = None,
+    ) -> None:
         if not tier_specs:
             raise ValueError("topology needs at least one tier")
         self.tiers: Dict[str, MemoryTier] = {}
@@ -31,9 +68,22 @@ class MemoryTopology:
             self.tiers[spec.name] = MemoryTier(spec)
         self._next_fid = 0
         self.frames: Dict[int, PageFrame] = {}
-        #: Retired frames kept for lifetime analysis (Fig 2d). Bounded by
-        #: the workload's total allocation count.
-        self.retired: List[PageFrame] = []
+        #: Retired frames kept for lifetime analysis (Fig 2d).
+        #: ``retired_limit=None`` keeps every freed frame (full-fidelity
+        #: lifetime analysis); an integer keeps only the most recent N so
+        #: long sweeps that never read lifetimes stay bounded.
+        self.retired_limit = retired_limit
+        self.retired = (
+            [] if retired_limit is None else deque(maxlen=retired_limit)
+        )
+        # --- resident-frame indexes (see class docstring) ---
+        self._tier_frames: Dict[str, Dict[int, PageFrame]] = {
+            name: {} for name in self.tiers
+        }
+        self._tier_owner_frames: Dict[tuple, Dict[int, PageFrame]] = defaultdict(
+            dict
+        )
+        self._referenced: Dict[int, PageFrame] = {}
         # --- counters the figures are built from ---
         #: pages ever allocated, keyed by (tier, owner)
         self.alloc_count: Dict[tuple, int] = defaultdict(int)
@@ -129,6 +179,13 @@ class MemoryTopology:
             allocated_at=now_ns,
         )
         self.frames[fid] = frame
+        self._tier_frames[tier.name][fid] = frame
+        self._tier_owner_frames[(tier.name, owner)][fid] = frame
+        # Allocation counts as a touch: the brute-force scan's predicate
+        # (last_access >= last_scan, with last_access = allocated_at)
+        # sees a freshly allocated frame as referenced.
+        frame.journal = self._referenced
+        self._referenced[fid] = frame
         self.alloc_count[(tier.name, owner)] += 1
         self.live_count[(tier.name, owner)] += 1
         return frame
@@ -145,7 +202,12 @@ class MemoryTopology:
         tier.release(1)
         frame.freed_at = now_ns
         self.live_count[(tier.name, frame.owner)] -= 1
-        del self.frames[frame.fid]
+        fid = frame.fid
+        del self.frames[fid]
+        del self._tier_frames[tier.name][fid]
+        del self._tier_owner_frames[(tier.name, frame.owner)][fid]
+        self._referenced.pop(fid, None)
+        frame.journal = None
         if retire:
             self.retired.append(frame)
 
@@ -173,7 +235,17 @@ class MemoryTopology:
         self.live_count[(src.name, frame.owner)] -= 1
         self.live_count[(dst.name, frame.owner)] += 1
         self.migration_count[(src.name, dst.name, frame.owner)] += 1
+        fid = frame.fid
+        del self._tier_frames[src.name][fid]
+        del self._tier_owner_frames[(src.name, frame.owner)][fid]
+        self._tier_frames[dst.name][fid] = frame
+        self._tier_owner_frames[(dst.name, frame.owner)][fid] = frame
         frame.tier_name = dst_tier_name
+        # Hotness state is per-residency: a just-promoted page must earn
+        # its demotion age on the new tier from zero (and vice versa), not
+        # inherit a stale streak/age from where it used to live.
+        frame.lru_age = 0
+        frame.scan_ref_streak = 0
         frame.record_migration()
 
     # ------------------------------------------------------------------
@@ -223,10 +295,43 @@ class MemoryTopology:
             if s == src and d == dst
         )
 
+    def resident_frames(self, tier_name: str) -> Dict[int, PageFrame]:
+        """The live frames homed on one tier, as a fid-keyed view.
+
+        Insertion-ordered (allocation order, with migrated-in frames
+        appended); callers that need the brute-force walk's fid order
+        must sort — see :meth:`live_frames_in`.
+        """
+        self._tier(tier_name)  # raise on unknown tiers, like every query
+        return self._tier_frames[tier_name]
+
+    def resident_frames_by_owner(
+        self, tier_name: str, owner: PageOwner
+    ) -> Dict[int, PageFrame]:
+        """Per-(tier, owner) resident view (same ordering caveat)."""
+        self._tier(tier_name)
+        return self._tier_owner_frames[(tier_name, owner)]
+
+    def iter_frames_by_owner(self, owner: PageOwner) -> Iterator[PageFrame]:
+        """All live frames of one owner, across every tier."""
+        for tier_name in self.tiers:
+            yield from self._tier_owner_frames[(tier_name, owner)].values()
+
+    def drain_referenced(self) -> List[PageFrame]:
+        """Frames touched (accessed or allocated) since the last drain.
+
+        Clears the journal in place — the scan that drains it owns the
+        window. Only live frames appear (frees drop their entry).
+        """
+        referenced = list(self._referenced.values())
+        self._referenced.clear()
+        return referenced
+
     def live_frames_in(self, tier_name: str) -> List[PageFrame]:
-        """Live frames on a tier (linear scan; used by scan-based policies,
-        whose *modeled* cost is charged separately via the LRU engine)."""
-        return [f for f in self.frames.values() if f.tier_name == tier_name]
+        """Live frames on a tier in fid order (the order the old global
+        frame walk produced; scan-based policies' *modeled* cost is
+        charged separately via the LRU engine)."""
+        return sorted(self.resident_frames(tier_name).values(), key=_by_fid)
 
     def check_invariants(self) -> None:
         """Cross-check counters against the frame table (used by tests)."""
@@ -244,6 +349,48 @@ class MemoryTopology:
             raise SimulationError(
                 f"live_count sum {live_total} != frame table {len(self.frames)}"
             )
+        # The resident indexes must agree with the frame table exactly.
+        index_total = 0
+        for name, view in self._tier_frames.items():
+            index_total += len(view)
+            for fid, frame in view.items():
+                if frame.tier_name != name or self.frames.get(fid) is not frame:
+                    raise SimulationError(
+                        f"tier index {name} out of sync for frame {fid}"
+                    )
+        if index_total != len(self.frames):
+            raise SimulationError(
+                f"tier indexes hold {index_total} frames, table {len(self.frames)}"
+            )
+        owner_total = 0
+        for (tier_name, owner), view in self._tier_owner_frames.items():
+            owner_total += len(view)
+            for fid, frame in view.items():
+                if (
+                    frame.tier_name != tier_name
+                    or frame.owner is not owner
+                    or self.frames.get(fid) is not frame
+                ):
+                    raise SimulationError(
+                        f"(tier, owner) index ({tier_name}, {owner}) out of "
+                        f"sync for frame {fid}"
+                    )
+            if len(view) != self.live_count[(tier_name, owner)]:
+                raise SimulationError(
+                    f"(tier, owner) index ({tier_name}, {owner}) has "
+                    f"{len(view)} frames, live_count says "
+                    f"{self.live_count[(tier_name, owner)]}"
+                )
+        if owner_total != len(self.frames):
+            raise SimulationError(
+                f"(tier, owner) indexes hold {owner_total} frames, "
+                f"table {len(self.frames)}"
+            )
+        for fid, frame in self._referenced.items():
+            if not frame.live or self.frames.get(fid) is not frame:
+                raise SimulationError(
+                    f"referenced journal holds dead/unknown frame {fid}"
+                )
 
     def __repr__(self) -> str:
         tiers = ", ".join(

@@ -68,16 +68,17 @@ def lifetime_report(kernel: "Kernel", *, now_ns: Optional[int] = None) -> Lifeti
         report.page_cache_mean_ns = cache_sum / cache_n
 
     # Application pages: retired frames plus still-live ones (app pages
-    # typically outlive the measurement window, as in the paper).
+    # typically outlive the measurement window, as in the paper). Live
+    # frames come from the per-(tier, owner) resident index, so the
+    # report never walks the global frame table.
     app_sum = app_n = 0
     for frame in kernel.topology.retired:
         if frame.owner is PageOwner.APP:
             app_sum += frame.lifetime_ns(now)
             app_n += 1
-    for frame in kernel.topology.frames.values():
-        if frame.owner is PageOwner.APP:
-            app_sum += frame.lifetime_ns(now)
-            app_n += 1
+    for frame in kernel.topology.iter_frames_by_owner(PageOwner.APP):
+        app_sum += frame.lifetime_ns(now)
+        app_n += 1
     if app_n:
         report.app_mean_ns = app_sum / app_n
         report.samples["APP"] = app_n

@@ -66,6 +66,7 @@ def build_optane_kernel(
     scale_factor: int = 1024,
     seed: int = 42,
     registry: Optional[KlocRegistry] = None,
+    retired_limit: Optional[int] = None,
 ) -> Tuple[Kernel, TieringPolicy]:
     """Construct a started Memory-Mode kernel under one Fig 5a strategy."""
     try:
@@ -77,6 +78,8 @@ def build_optane_kernel(
         ) from None
     spec = optane_platform_spec(scale_factor=scale_factor)
     instance = policy_cls()
-    kernel = Kernel(spec, instance, seed=seed, registry=registry)
+    kernel = Kernel(
+        spec, instance, seed=seed, registry=registry, retired_limit=retired_limit
+    )
     kernel.start()
     return kernel, instance

@@ -10,14 +10,19 @@ sufficiently rapidly" (§6.2) and why KLOCs short-circuit the scan.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Set
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from repro.core.config import LRUSpec
 from repro.core.units import SEC
 from repro.mem.frame import PageFrame, PageOwner
+from repro.mem.topology import frame_index_enabled
 
 if TYPE_CHECKING:
     from repro.kernel.kernel import Kernel
+
+
+def _by_fid(frame: PageFrame) -> int:
+    return frame.fid
 
 
 class LRUScanEngine:
@@ -37,9 +42,15 @@ class LRUScanEngine:
         demote: bool = True,
         migrate_batch: int = 2048,
         free_watermark_frac: float = 0.04,
+        use_index: Optional[bool] = None,
     ) -> None:
         self.kernel = kernel
         self.spec = spec or LRUSpec()
+        #: Scan via the topology's resident-frame indexes (O(candidates))
+        #: or the legacy global frame walk (O(all frames)). Decisions and
+        #: simulated costs are bit-identical; None defers to the
+        #: REPRO_NO_FRAME_INDEX environment knob.
+        self.use_index = frame_index_enabled() if use_index is None else use_index
         #: Which owners each direction manages (None = all). ``owners``
         #: is shorthand that sets both. KLOCs uses an asymmetric split:
         #: promotion covers kernel pages too (referenced slow pages come
@@ -79,10 +90,8 @@ class LRUScanEngine:
         """Wall time to visit ``npages`` at the measured scan rate."""
         return int(npages / self.spec.scan_pages_per_second * SEC)
 
-    def scan(self, now_ns: int = 0) -> dict:
-        """One scan round: age pages, then migrate hot/cold candidates."""
-        now = now_ns or self.kernel.clock.now()
-        self.scans += 1
+    def _collect_brute_force(self) -> Tuple[List[PageFrame], List[PageFrame], int]:
+        """The legacy O(all frames) walk — the equivalence baseline."""
         demote_candidates: List[PageFrame] = []
         promote_candidates: List[PageFrame] = []
         visited = 0
@@ -109,6 +118,82 @@ class LRUScanEngine:
                     and self._promotable(frame)
                 ):
                     promote_candidates.append(frame)
+        return demote_candidates, promote_candidates, visited
+
+    def _collect_indexed(self) -> Tuple[List[PageFrame], List[PageFrame], int]:
+        """O(candidates) collection via the resident-frame indexes.
+
+        Equivalence with the brute-force walk rests on three facts:
+
+        * a *referenced* fast-tier frame already has ``lru_age == 0``
+          (``record_access`` reset it), so only unreferenced demotable
+          residents can change state — age exactly those;
+        * the referenced journal is a superset of the slow-tier frames the
+          walk would see as referenced (accesses and allocations both
+          enroll), and unreferenced slow frames only ever have their
+          streak reset — done lazily via ``scan_ref_round``;
+        * candidates are re-sorted by fid, restoring the walk's encounter
+          order before THP expansion / truncation / the stable age sort.
+        """
+        topo = self.kernel.topology
+        mark = self._last_scan_ns
+        cold_rounds = self.spec.cold_age_rounds
+
+        demote_candidates: List[PageFrame] = []
+        if self.demote_owners is None:
+            demotable = topo.resident_frames(self.fast_tier).values()
+        else:
+            demotable = [
+                frame
+                for owner in self.demote_owners
+                for frame in topo.resident_frames_by_owner(
+                    self.fast_tier, owner
+                ).values()
+            ]
+        for frame in demotable:
+            if frame.last_access >= mark:
+                continue
+            frame.lru_age += 1
+            if frame.lru_age >= cold_rounds:
+                demote_candidates.append(frame)
+        demote_candidates.sort(key=_by_fid)
+
+        promote_candidates: List[PageFrame] = []
+        round_no = self.scans
+        slow_tier = self.slow_tier
+        for frame in topo.drain_referenced():
+            if frame.tier_name != slow_tier or frame.last_access < mark:
+                continue
+            # Lazy two-touch streak: consecutive-window participation is
+            # tracked by the round stamp instead of eagerly zeroing every
+            # untouched slow frame each scan.
+            if frame.scan_ref_round == round_no - 1:
+                frame.scan_ref_streak += 1
+            else:
+                frame.scan_ref_streak = 1
+            frame.scan_ref_round = round_no
+            if (
+                frame.scan_ref_streak >= 2
+                and frame.relocatable
+                and self._promotable(frame)
+            ):
+                promote_candidates.append(frame)
+        promote_candidates.sort(key=_by_fid)
+
+        # The *simulated* scan still visits every live frame (§3.3's rate
+        # is the point of the model); only the host-side walk is indexed.
+        return demote_candidates, promote_candidates, len(topo.frames)
+
+    def scan(self, now_ns: int = 0) -> dict:
+        """One scan round: age pages, then migrate hot/cold candidates."""
+        now = now_ns or self.kernel.clock.now()
+        self.scans += 1
+        if self.use_index:
+            demote_candidates, promote_candidates, visited = self._collect_indexed()
+        else:
+            demote_candidates, promote_candidates, visited = (
+                self._collect_brute_force()
+            )
 
         self.pages_scanned += visited
         # The scan itself burns a CPU at the measured rate (§3.3): charge

@@ -1,0 +1,63 @@
+"""Bit-identity of indexed scanners vs. the brute-force frame walk.
+
+The resident-frame indexes (PR-2) are a pure host-side optimization:
+every policy decision, migration, and simulated cost must be *exactly*
+what the legacy O(all frames) walks produced. These tests run full
+measured experiments twice — indexed, then with ``REPRO_NO_FRAME_INDEX=1``
+— and require the complete result payloads to match bit for bit.
+
+cassandra is the probe workload: it mixes filesystem activity (SSTable
+reads/writes through the page cache) with network traffic (client
+sockets), so slab, page-cache, and app frames all churn through the
+scanners at once.
+
+CI treats a *skip* of this module as a failure (the scan-bench job greps
+pytest's skip report), so keep these tests unconditional.
+"""
+
+import pytest
+
+from repro.experiments.cache import run_to_payload
+from repro.experiments.runner import run_optane_interference, run_two_tier
+
+TINY = 600
+
+
+def _payload_both_modes(monkeypatch, **kwargs):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.delenv("REPRO_NO_FRAME_INDEX", raising=False)
+    indexed = run_to_payload(run_two_tier(**kwargs))
+    monkeypatch.setenv("REPRO_NO_FRAME_INDEX", "1")
+    brute = run_to_payload(run_two_tier(**kwargs))
+    return indexed, brute
+
+
+class TestTwoTierEquivalence:
+    def test_klocs_mixed_workload(self, monkeypatch):
+        indexed, brute = _payload_both_modes(
+            monkeypatch, workload="cassandra", policy="klocs", ops=TINY
+        )
+        assert indexed == brute
+
+    def test_nimblepp_mixed_workload(self, monkeypatch):
+        indexed, brute = _payload_both_modes(
+            monkeypatch, workload="cassandra", policy="nimble++", ops=TINY
+        )
+        assert indexed == brute
+
+    def test_nimble_app_only_scan(self, monkeypatch):
+        indexed, brute = _payload_both_modes(
+            monkeypatch, workload="cassandra", policy="nimble", ops=TINY
+        )
+        assert indexed == brute
+
+
+class TestOptaneEquivalence:
+    @pytest.mark.parametrize("policy", ["autonuma", "all_local"])
+    def test_interference_run(self, monkeypatch, policy):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.delenv("REPRO_NO_FRAME_INDEX", raising=False)
+        indexed = run_optane_interference("cassandra", policy, TINY)
+        monkeypatch.setenv("REPRO_NO_FRAME_INDEX", "1")
+        brute = run_optane_interference("cassandra", policy, TINY)
+        assert indexed == brute

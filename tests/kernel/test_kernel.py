@@ -127,6 +127,17 @@ class TestAccounting:
         assert kernel.kernel_refs == 0
         assert kernel.fast_ref_fraction() == 0.0
 
+    def test_reset_clears_time_decomposition(self):
+        """The access-time split must cover the same window as the
+        reference split — resetting one but not the other silently mixed
+        load-phase time into steady-state reports."""
+        kernel = make_kernel()
+        obj = kernel.alloc_object(KernelObjectType.PAGE_CACHE)
+        kernel.access_object(obj)
+        assert kernel.access_ns_by  # the access was attributed
+        kernel.reset_reference_counters()
+        assert kernel.access_ns_by == {}
+
     def test_background_work_amortized(self):
         kernel = make_kernel()
         before = kernel.clock.now()
