@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Operation-rate benchmark: O(1) hot-path accounting vs. the legacy paths.
+
+Where ``scan_bench.py`` isolates the periodic scanners, this bench times
+the *operation loop* itself — the per-reference charge path, the per-CPU
+KLOC lookups, incremental metadata accounting, and the batched region
+touches — on the fig5 cassandra/klocs cell, the workload whose per-op
+kernel-object churn is heaviest.
+
+Modes are isolated in **subprocesses**: the hot-path flags are read at
+import/construction time (``repro.core.hotpath.hotpath_enabled``), so a
+same-process env toggle would not switch implementations. The baseline
+subprocess runs with ``REPRO_NO_HOTPATH=1`` (layered charge paths, full
+metadata recomputes, per-frame clock advances); the hot subprocess runs
+with the flag clear. Reps are interleaved hot/legacy to decorrelate
+machine noise, and the reported speedup is min-over-min (the most
+repeatable wall-clock estimator on noisy hosts).
+
+Each worker also emits the run's result payload (the exact dict the
+experiment cache hashes); the bench refuses to report a speedup unless
+the hot and legacy payloads are byte-identical.
+
+Writes ``BENCH_ops.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/op_bench.py            # full bench
+    PYTHONPATH=src python scripts/op_bench.py --quick    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The measured cell: fig5's heaviest per-op workload under the paper's
+#: policy. Ops default to the real fig5 cell size (see experiments
+#: defaults: cassandra = 20k ops).
+WORKLOAD = "cassandra"
+POLICY = "klocs"
+FULL_OPS = 20_000
+QUICK_OPS = 2_000
+FULL_REPS = 3
+QUICK_REPS = 2
+
+
+def _worker(ops: int) -> int:
+    """One timed run in the current process's mode; prints a JSON blob."""
+    os.environ["REPRO_NO_CACHE"] = "1"  # time a real run, not a cache hit
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.experiments.cache import run_to_payload
+    from repro.experiments.runner import run_two_tier
+
+    t0 = time.perf_counter()
+    run = run_two_tier(workload=WORKLOAD, policy=POLICY, ops=ops)
+    elapsed = time.perf_counter() - t0
+    print(
+        json.dumps(
+            {"elapsed_s": elapsed, "payload": run_to_payload(run)},
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
+def _spawn(ops: int, *, legacy: bool) -> Dict[str, object]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if legacy:
+        env["REPRO_NO_HOTPATH"] = "1"
+    else:
+        env.pop("REPRO_NO_HOTPATH", None)
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--_worker", str(ops)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"worker ({'legacy' if legacy else 'hot'}) failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_ops.json",
+        help="where to write the results JSON",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run (fewer ops and reps)",
+    )
+    parser.add_argument("--ops", type=int, default=None, help="override op count")
+    parser.add_argument("--reps", type=int, default=None, help="override rep count")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero if the speedup falls below this "
+        "(0 = report only; wall-clock gates are flaky on shared CI)",
+    )
+    parser.add_argument("--_worker", type=int, default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args._worker is not None:
+        return _worker(args._worker)
+
+    ops = args.ops if args.ops is not None else (QUICK_OPS if args.quick else FULL_OPS)
+    reps = args.reps if args.reps is not None else (
+        QUICK_REPS if args.quick else FULL_REPS
+    )
+
+    # Warm the page cache for the interpreter/bytecode (cheap tiny run per
+    # mode) so first-rep bias doesn't flatter either side.
+    for legacy in (False, True):
+        _spawn(min(500, ops), legacy=legacy)
+
+    hot_times: List[float] = []
+    legacy_times: List[float] = []
+    hot_payload: Optional[dict] = None
+    legacy_payload: Optional[dict] = None
+    for _rep in range(reps):
+        hot = _spawn(ops, legacy=False)
+        leg = _spawn(ops, legacy=True)
+        hot_times.append(float(hot["elapsed_s"]))
+        legacy_times.append(float(leg["elapsed_s"]))
+        hot_payload = hot["payload"]
+        legacy_payload = leg["payload"]
+
+    if hot_payload != legacy_payload:
+        print("PAYLOAD MISMATCH — modes diverged; timings are invalid")
+        for key in sorted(set(hot_payload) | set(legacy_payload)):
+            h, l = hot_payload.get(key), legacy_payload.get(key)
+            if h != l:
+                print(f"  field {key!r}: hot={h!r} legacy={l!r}")
+        return 2
+
+    best_hot = min(hot_times)
+    best_legacy = min(legacy_times)
+    speedup = best_legacy / best_hot if best_hot > 0 else float("inf")
+
+    report = {
+        "bench": "op_bench",
+        "baseline": "REPRO_NO_HOTPATH=1 (layered charge paths, recomputed "
+        "metadata, per-frame clock advances)",
+        "cell": {"workload": WORKLOAD, "policy": POLICY, "ops": ops},
+        "quick": args.quick,
+        "reps": reps,
+        "hot_s": [round(t, 4) for t in hot_times],
+        "legacy_s": [round(t, 4) for t in legacy_times],
+        "best_hot_s": round(best_hot, 4),
+        "best_legacy_s": round(best_legacy, 4),
+        "speedup": round(speedup, 2),
+        "equivalent": True,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
+
+    print(f"cell: {WORKLOAD}/{POLICY} ops={ops} reps={reps}")
+    print(f"hot    : {['%.3f' % t for t in hot_times]}  best {best_hot:.3f}s")
+    print(f"legacy : {['%.3f' % t for t in legacy_times]}  best {best_legacy:.3f}s")
+    print(f"speedup: {speedup:.2f}x (payloads identical)  -> {args.out}")
+
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"speedup {speedup:.2f}x below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

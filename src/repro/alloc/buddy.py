@@ -17,10 +17,16 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.clock import Clock
 from repro.core.errors import SimulationError
+from repro.core.hotpath import hotpath_enabled
 from repro.core.objtypes import KernelObjectType
 from repro.alloc.base import ALLOC_COSTS, AllocatorStats, KernelObject
+
 from repro.mem.frame import PageFrame, PageOwner
 from repro.mem.topology import MemoryTopology
+
+#: Hoisted 'page' cost — read on every alloc/free.
+_PAGE_COST = ALLOC_COSTS["page"]
+_PAGE_FREE_COST = _PAGE_COST // 2
 
 
 class PageAllocator:
@@ -32,6 +38,7 @@ class PageAllocator:
     def __init__(self, topology: MemoryTopology, clock: Clock) -> None:
         self.topology = topology
         self.clock = clock
+        self._hot = hotpath_enabled()
         self.stats = AllocatorStats()
         self._next_oid = 0
         #: Allocations by order (log2 pages), for fragmentation reports.
@@ -65,7 +72,7 @@ class PageAllocator:
         order = max(0, (npages - 1).bit_length())
         self.order_histogram[order] = self.order_histogram.get(order, 0) + 1
         self.stats.pages_grabbed += npages
-        cost = ALLOC_COSTS["page"] * npages
+        cost = _PAGE_COST * npages
         self.stats.cpu_cost_ns += cost
         self.clock.advance(cost)
         return frames
@@ -104,8 +111,15 @@ class PageAllocator:
         self.stats.allocs += 1
         oid = self._next_oid
         self._next_oid += 1
-        self.stats.cpu_cost_ns += ALLOC_COSTS["page"]
-        self.clock.advance(ALLOC_COSTS["page"])
+        self.stats.cpu_cost_ns += _PAGE_COST
+        if self._hot:
+            # clock.advance(_PAGE_COST), inlined (constant cost > 0).
+            clock = self.clock
+            clock._now = t = clock._now + _PAGE_COST  # noqa: SLF001
+            if t >= clock._next_deadline:  # noqa: SLF001
+                clock._fire_due()  # noqa: SLF001
+        else:
+            self.clock.advance(_PAGE_COST)
         return KernelObject(
             oid=oid,
             otype=otype,
@@ -115,16 +129,30 @@ class PageAllocator:
             allocated_at=now,
         )
 
-    def free_object(self, obj: KernelObject) -> None:
+    def free_object(self, obj: KernelObject, *, now_ns: Optional[int] = None) -> int:
+        """Free one page-backed object. ``now_ns`` defers the clock work
+        to the caller (batched charge windows): the free executes at that
+        virtual time and the constant CPU cost is returned without
+        advancing."""
         if not obj.live:
             raise SimulationError(f"double free of {obj!r}")
-        now = self.clock.now()
+        now = self.clock.now() if now_ns is None else now_ns
         obj.freed_at = now
         self.topology.free(obj.frame, now_ns=now)
         self.stats.frees += 1
         self.stats.pages_returned += 1
         self.stats.lifetimes.record(obj.otype, obj.lifetime_ns(now))
-        self.clock.advance(ALLOC_COSTS["page"] // 2)
+        cost = _PAGE_FREE_COST
+        if now_ns is None:
+            if self._hot:
+                # clock.advance(cost), inlined (constant cost > 0).
+                clock = self.clock
+                clock._now = t = clock._now + cost  # noqa: SLF001
+                if t >= clock._next_deadline:  # noqa: SLF001
+                    clock._fire_due()  # noqa: SLF001
+            else:
+                self.clock.advance(cost)
+        return cost
 
     def __repr__(self) -> str:
         live = self.stats.pages_grabbed - self.stats.pages_returned

@@ -21,11 +21,17 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.clock import Clock
 from repro.core.errors import SimulationError
+from repro.core.hotpath import hotpath_enabled
 from repro.core.objtypes import KernelObjectType
 from repro.core.units import PAGE_SIZE
 from repro.alloc.base import ALLOC_COSTS, AllocatorStats, KernelObject
+
 from repro.mem.frame import PageFrame
 from repro.mem.topology import MemoryTopology
+
+#: Hoisted 'kloc' cost — read on every alloc/free.
+_KLOC_COST = ALLOC_COSTS["kloc"]
+_KLOC_FREE_COST = _KLOC_COST // 2
 
 
 class _KlocPage:
@@ -65,6 +71,7 @@ class KlocAllocator:
     def __init__(self, topology: MemoryTopology, clock: Clock) -> None:
         self.topology = topology
         self.clock = clock
+        self._hot = hotpath_enabled()
         self.stats = AllocatorStats()
         self._next_oid = 0
         #: Current fill page per knode — the grouping that makes en-masse
@@ -110,8 +117,15 @@ class KlocAllocator:
         self._size_of[oid] = size
 
         self.stats.allocs += 1
-        self.stats.cpu_cost_ns += ALLOC_COSTS["kloc"]
-        self.clock.advance(ALLOC_COSTS["kloc"])
+        self.stats.cpu_cost_ns += _KLOC_COST
+        if self._hot:
+            # clock.advance(_KLOC_COST), inlined (constant cost > 0).
+            clock = self.clock
+            clock._now = t = clock._now + _KLOC_COST  # noqa: SLF001
+            if t >= clock._next_deadline:  # noqa: SLF001
+                clock._fire_due()  # noqa: SLF001
+        else:
+            self.clock.advance(_KLOC_COST)
         return KernelObject(
             oid=oid,
             otype=otype,
@@ -121,13 +135,16 @@ class KlocAllocator:
             allocated_at=now,
         )
 
-    def free(self, obj: KernelObject) -> None:
+    def free(self, obj: KernelObject, *, now_ns: Optional[int] = None) -> int:
+        """Free one object. ``now_ns`` defers the clock work to the caller
+        (batched charge windows): the free executes at that virtual time
+        and the constant CPU cost is returned without advancing."""
         if not obj.live:
             raise SimulationError(f"double free of {obj!r}")
         page = self._page_of.pop(obj.oid, None)
         if page is None:
             raise SimulationError(f"{obj!r} was not allocated here")
-        now = self.clock.now()
+        now = self.clock.now() if now_ns is None else now_ns
         obj.freed_at = now
         page.live.discard(obj.oid)
         page.used_bytes -= self._size_of.pop(obj.oid, 0)
@@ -148,7 +165,17 @@ class KlocAllocator:
 
         self.stats.frees += 1
         self.stats.lifetimes.record(obj.otype, obj.lifetime_ns(now))
-        self.clock.advance(ALLOC_COSTS["kloc"] // 2)
+        cost = _KLOC_FREE_COST
+        if now_ns is None:
+            if self._hot:
+                # clock.advance(cost), inlined (constant cost > 0).
+                clock = self.clock
+                clock._now = t = clock._now + cost  # noqa: SLF001
+                if t >= clock._next_deadline:  # noqa: SLF001
+                    clock._fire_due()  # noqa: SLF001
+            else:
+                self.clock.advance(cost)
+        return cost
 
     def knode_frames(self, knode_id: Optional[int]) -> List[PageFrame]:
         """Live backing pages of one knode's small objects — the unit the

@@ -18,11 +18,17 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.clock import Clock
 from repro.core.errors import SimulationError
+from repro.core.hotpath import hotpath_enabled
 from repro.core.objtypes import KernelObjectType
 from repro.core.units import PAGE_SIZE
 from repro.alloc.base import ALLOC_COSTS, AllocatorStats, KernelObject
+
 from repro.mem.frame import PageFrame
 from repro.mem.topology import MemoryTopology
+
+#: Hoisted 'slab' cost — read on every alloc/free.
+_SLAB_COST = ALLOC_COSTS["slab"]
+_SLAB_FREE_COST = _SLAB_COST // 2
 
 
 class _SlabPage:
@@ -64,6 +70,7 @@ class SlabAllocator:
     def __init__(self, topology: MemoryTopology, clock: Clock) -> None:
         self.topology = topology
         self.clock = clock
+        self._hot = hotpath_enabled()
         self.stats = AllocatorStats()
         self._caches: Dict[KernelObjectType, _KmemCache] = {}
         self._next_oid = 0
@@ -116,8 +123,15 @@ class SlabAllocator:
             cache.full.append(page)
 
         self.stats.allocs += 1
-        self.stats.cpu_cost_ns += ALLOC_COSTS["slab"]
-        self.clock.advance(ALLOC_COSTS["slab"])
+        self.stats.cpu_cost_ns += _SLAB_COST
+        if self._hot:
+            # clock.advance(_SLAB_COST), inlined (constant cost > 0).
+            clock = self.clock
+            clock._now = t = clock._now + _SLAB_COST  # noqa: SLF001
+            if t >= clock._next_deadline:  # noqa: SLF001
+                clock._fire_due()  # noqa: SLF001
+        else:
+            self.clock.advance(_SLAB_COST)
         return KernelObject(
             oid=oid,
             otype=otype,
@@ -127,14 +141,20 @@ class SlabAllocator:
             allocated_at=now,
         )
 
-    def free(self, obj: KernelObject) -> None:
-        """Release an object; empty slab pages return to the page pool."""
+    def free(self, obj: KernelObject, *, now_ns: Optional[int] = None) -> int:
+        """Release an object; empty slab pages return to the page pool.
+
+        ``now_ns`` defers the clock work to the caller: the free executes
+        at that virtual time and the (constant) CPU cost is returned
+        without advancing — used by batched charge windows. Plain calls
+        advance the clock themselves, as before. Returns the cost either
+        way."""
         if not obj.live:
             raise SimulationError(f"double free of {obj!r}")
         page = self._page_of.pop(obj.oid, None)
         if page is None:
             raise SimulationError(f"{obj!r} was not allocated here")
-        now = self.clock.now()
+        now = self.clock.now() if now_ns is None else now_ns
         obj.freed_at = now
         page.live.discard(obj.oid)
 
@@ -149,7 +169,17 @@ class SlabAllocator:
 
         self.stats.frees += 1
         self.stats.lifetimes.record(obj.otype, obj.lifetime_ns(now))
-        self.clock.advance(ALLOC_COSTS["slab"] // 2)
+        cost = _SLAB_FREE_COST
+        if now_ns is None:
+            if self._hot:
+                # clock.advance(cost), inlined (constant cost > 0).
+                clock = self.clock
+                clock._now = t = clock._now + cost  # noqa: SLF001
+                if t >= clock._next_deadline:  # noqa: SLF001
+                    clock._fire_due()  # noqa: SLF001
+            else:
+                self.clock.advance(cost)
+        return cost
 
     def live_pages(self) -> int:
         return self.stats.pages_grabbed - self.stats.pages_returned

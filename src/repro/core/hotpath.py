@@ -1,0 +1,23 @@
+"""Feature gate for the O(1) hot-path accounting fast paths.
+
+The per-operation accounting rework (incremental KLOC metadata, the
+flattened charge path, batched region touches) is a pure host-side
+optimization: simulated behavior is bit-identical by construction, and
+``tests/experiments/test_hotpath_equivalence.py`` enforces payload
+equality between both modes over full measured cells.
+
+``REPRO_NO_HOTPATH=1`` restores the legacy per-call paths — the escape
+hatch for debugging and the baseline ``scripts/op_bench.py`` times
+against. The flag is read when a component is constructed (kernel,
+per-CPU list set), not per call, so flipping it mid-run has no effect on
+existing instances.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def hotpath_enabled() -> bool:
+    """True unless ``REPRO_NO_HOTPATH`` is set (to anything non-empty)."""
+    return not os.environ.get("REPRO_NO_HOTPATH")

@@ -85,29 +85,17 @@ class KernelObjectType(enum.Enum):
         PAGE_SIZE, Subsystem.NETWORK, AllocatorKind.PAGE, PageOwner.SOCKBUF
     )
 
-    @property
-    def spec(self) -> ObjectSpec:
-        return self.value
-
-    @property
-    def size_bytes(self) -> int:
-        return self.value.size_bytes
-
-    @property
-    def subsystem(self) -> Subsystem:
-        return self.value.subsystem
-
-    @property
-    def allocator(self) -> AllocatorKind:
-        return self.value.allocator
-
-    @property
-    def owner(self) -> PageOwner:
-        return self.value.owner
-
-    @property
-    def is_slab(self) -> bool:
-        return self.value.allocator is AllocatorKind.SLAB
+    def __init__(self, spec: ObjectSpec) -> None:
+        # Plain instance attributes rather than properties: these fields
+        # are read on every allocation and charge, and a property routes
+        # each read through the enum's descriptor machinery (``.value``
+        # is a DynamicClassAttribute). Same values, set once per member.
+        self.spec = spec
+        self.size_bytes = spec.size_bytes
+        self.subsystem = spec.subsystem
+        self.allocator = spec.allocator
+        self.owner = spec.owner
+        self.is_slab = spec.allocator is AllocatorKind.SLAB
 
 
 #: Fig 5c's incremental KLOC-coverage groups, in the order the paper adds

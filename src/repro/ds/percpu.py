@@ -5,12 +5,22 @@ software cache of the bigger kmap structure". The same knode may appear
 on several CPUs' lists; :meth:`invalidate` provides the coherence hook
 Linux's per-CPU APIs give the real implementation. Hit/miss counters feed
 the §4.3 claim that per-CPU lists absorb 54% of rbtree accesses.
+
+``total_entries`` is maintained incrementally on every record/eviction/
+invalidate so metadata accounting is pure arithmetic instead of an
+all-lists walk. With the hot paths enabled (see
+:mod:`repro.core.hotpath`) a membership shadow maps each item to the set
+of CPUs holding it, making :meth:`invalidate` and :meth:`find_cpus`
+O(holders) instead of O(num_cpus); ``REPRO_NO_HOTPATH=1`` restores the
+every-list scans.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, List, Optional, TypeVar
+from typing import Dict, Generic, List, Optional, Set, TypeVar
+
+from repro.core.hotpath import hotpath_enabled
 
 T = TypeVar("T")
 
@@ -28,6 +38,14 @@ class PerCPUListSet(Generic[T]):
         self._lists: List["OrderedDict[T, None]"] = [
             OrderedDict() for _ in range(num_cpus)
         ]
+        #: Live count of entries across every CPU's list, maintained on
+        #: record / eviction / invalidate — O(1) metadata accounting.
+        self.total_entries = 0
+        #: item → CPUs holding it (the membership shadow); None when the
+        #: legacy scans are forced via REPRO_NO_HOTPATH=1.
+        self._where: Optional[Dict[T, Set[int]]] = (
+            {} if hotpath_enabled() else None
+        )
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -38,7 +56,8 @@ class PerCPUListSet(Generic[T]):
 
     def lookup(self, cpu: int, item: T) -> bool:
         """Fast-path lookup on one CPU's list; refreshes recency on hit."""
-        self._check_cpu(cpu)
+        if not 0 <= cpu < self.num_cpus:
+            raise IndexError(f"cpu {cpu} out of range [0, {self.num_cpus})")
         lst = self._lists[cpu]
         if item in lst:
             lst.move_to_end(item)
@@ -53,16 +72,45 @@ class PerCPUListSet(Generic[T]):
         be traversed fast")."""
         self._check_cpu(cpu)
         lst = self._lists[cpu]
+        if item not in lst:
+            self.total_entries += 1
+            if self._where is not None:
+                holders = self._where.get(item)
+                if holders is None:
+                    self._where[item] = {cpu}
+                else:
+                    holders.add(cpu)
         lst[item] = None
         lst.move_to_end(item)
         if len(lst) > self.max_per_cpu:
             evicted, _ = lst.popitem(last=False)
+            self.total_entries -= 1
+            if self._where is not None:
+                self._drop_holder(evicted, cpu)
             return evicted
         return None
+
+    def _drop_holder(self, item: T, cpu: int) -> None:
+        holders = self._where.get(item)
+        if holders is not None:
+            holders.discard(cpu)
+            if not holders:
+                del self._where[item]
 
     def invalidate(self, item: T) -> int:
         """Coherence: drop ``item`` from every CPU's list (knode deleted or
         marked inactive). Returns the number of lists it was on."""
+        if self._where is not None:
+            holders = self._where.pop(item, None)
+            if not holders:
+                return 0
+            lists = self._lists
+            for cpu in holders:
+                del lists[cpu][item]
+            dropped = len(holders)
+            self.total_entries -= dropped
+            self.invalidations += 1
+            return dropped
         dropped = 0
         for lst in self._lists:
             if item in lst:
@@ -70,6 +118,7 @@ class PerCPUListSet(Generic[T]):
                 dropped += 1
         if dropped:
             self.invalidations += 1
+            self.total_entries -= dropped
         return dropped
 
     def entries(self, cpu: int) -> List[T]:
@@ -89,7 +138,12 @@ class PerCPUListSet(Generic[T]):
         return out
 
     def find_cpus(self, item: T) -> List[int]:
-        """CPUs whose list holds ``item`` — backs Table 2's find_cpu()."""
+        """CPUs whose list holds ``item`` — backs Table 2's find_cpu().
+
+        Always ascending CPU order, matching the enumerate scan."""
+        if self._where is not None:
+            holders = self._where.get(item)
+            return sorted(holders) if holders else []
         return [cpu for cpu, lst in enumerate(self._lists) if item in lst]
 
     def hit_rate(self) -> float:

@@ -47,6 +47,11 @@ from repro.workloads.base import WorkloadResult
 #: access-time decomposition, and migration resets per-frame hotness
 #: state (lru_age / scan_ref_streak) on tier change. The resident-frame
 #: index refactor itself is bit-identical and did NOT bump this.
+#: The O(1) hot-path accounting (incremental KLOC metadata, flattened
+#: charge path, batched clock advances in ``Kernel.access_frames``) is
+#: likewise bit-identical — including the metadata peak, which samples
+#: at every growth site in both modes, so skipping the hot path's
+#: shrink/hit-path samples loses no precision — and did NOT bump this.
 SIM_VERSION = "2"
 
 

@@ -10,7 +10,7 @@ mechanically executes it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.alloc.base import KernelObject
 from repro.alloc.buddy import PageAllocator
@@ -20,8 +20,10 @@ from repro.alloc.vmalloc import VmallocAllocator
 from repro.core.clock import Clock
 from repro.core.config import PlatformSpec
 from repro.core.errors import AllocationError, SimulationError
+from repro.core.hotpath import hotpath_enabled
 from repro.core.objtypes import AllocatorKind, KernelObjectType
 from repro.core.rng import DeterministicRNG
+from repro.core.units import PAGE_SIZE
 from repro.kernel.cpu import CpuSet
 from repro.kloc.manager import KlocManager
 from repro.kloc.migrationd import KlocMigrationDaemon
@@ -37,6 +39,10 @@ from repro.vfs.filesystem import Filesystem
 from repro.vfs.inode import Inode
 from repro.vfs.storage import NVMeDevice
 from repro.vfs.writeback import WritebackDaemon
+
+#: Hoisted enum member: the charge hot path tests page ownership once per
+#: reference, and ``PageOwner.APP`` is two attribute loads per test.
+_OWNER_APP = PageOwner.APP
 
 
 class Kernel:
@@ -117,6 +123,20 @@ class Kernel:
             self.kloc_manager.on_knode_deleted = (
                 lambda knode: self.kloc_daemon.unmark(knode.knode_id)
             )
+        #: Live reference to the registry's coverage set when KLOC
+        #: tracking is on — the alloc path's ``covered`` test is a plain
+        #: membership check instead of two attribute loads and a method
+        #: call per allocation. Empty when the policy has no manager.
+        self._covered_types = (
+            self.kloc_registry._covered  # noqa: SLF001 - live reference
+            if self.kloc_manager is not None
+            else frozenset()
+        )
+        #: Bound hotness hook for the flat reference path (None when the
+        #: policy runs without KLOC tracking).
+        self._note_access = (
+            self.kloc_manager.note_access if self.kloc_manager is not None else None
+        )
 
         # Metric counters (Fig 2c's reference attribution).
         self.kernel_refs = 0
@@ -124,11 +144,29 @@ class Kernel:
         self.app_refs = 0
         self.app_ref_bytes = 0
         self.refs_by_owner: Dict[PageOwner, int] = {o: 0 for o in PageOwner}
-        #: (tier_name, is_kernel) → reference count, for placement quality
-        #: diagnostics (what fraction of traffic actually hit fast memory).
-        self.refs_by_tier: Dict[tuple, int] = {}
-        #: (owner, tier) → cumulative access ns, for time decomposition.
-        self.access_ns_by: Dict[tuple, int] = {}
+        # Reference attribution storage. Flat mode (the default outside
+        # NUMA platforms) preallocates nested counters for every tier ×
+        # owner pair so the charge path is ``d[k] += v`` with no tuple
+        # allocation or ``.get()``; the legacy tuple-keyed dicts are kept
+        # behind ``REPRO_NO_HOTPATH=1`` (and in NUMA mode, whose hw-cache
+        # costs keep the legacy charge path anyway). ``refs_by_tier`` and
+        # ``access_ns_by`` are exposed as properties that materialize the
+        # same dicts either way.
+        self._flat = hotpath_enabled() and not self.numa_mode
+        tier_names = [platform.fast.name, platform.slow.name]
+        #: tier → [app_refs, kernel_refs]; indexed by ``owner is not APP``.
+        self._refs_by_tier_n: Dict[str, List[int]] = {
+            t: [0, 0] for t in tier_names
+        }
+        #: owner → tier → [cumulative ns, access count]. The count decides
+        #: which keys the materialized dict contains (a zero-cost access
+        #: must still create its key, exactly like the legacy dict).
+        self._access_ns_n: Dict[PageOwner, Dict[str, List[int]]] = {
+            o: {t: [0, 0] for t in tier_names} for o in PageOwner
+        }
+        #: Legacy tuple-keyed dicts (REPRO_NO_HOTPATH=1 / NUMA mode).
+        self._refs_by_tier_d: Dict[tuple, int] = {}
+        self._access_ns_d: Dict[tuple, int] = {}
         self.storage_ns_total = 0
         self.background_ns_total = 0
         #: Optional tracepoint sink (repro.core.trace.Tracer); costs one
@@ -171,22 +209,30 @@ class Kernel:
         *,
         cpu: int = 0,
     ) -> KernelObject:
-        covered = (
-            self.kloc_manager is not None and self.kloc_registry.covered(otype)
-        )
+        covered = otype in self._covered_types
         tier_order = self.policy.tier_order_kernel(
             otype, inode, covered=covered, cpu=cpu
         )
         knode_id = inode.knode_id if (inode is not None and covered) else None
 
+        # Allocator routing, inlined:
+        if otype.allocator is AllocatorKind.SLAB:
+            if covered and self.policy.uses_kloc_interface:
+                # §4.4: redirected sites get relocatable, knode-grouped pages.
+                allocator = self.kloc_alloc.alloc
+            else:
+                allocator = self.slab.alloc
+        else:
+            allocator = self.page_alloc.alloc_object
         try:
-            obj = self._route_alloc(otype, tier_order, knode_id, covered)
+            obj = allocator(otype, tier_order, knode_id=knode_id)
         except AllocationError:
             # Memory pressure: shrink the page cache, then retry once.
             self._emergency_reclaim(cpu=cpu)
-            obj = self._route_alloc(otype, tier_order, knode_id, covered)
+            obj = allocator(otype, tier_order, knode_id=knode_id)
 
-        self._fix_node_id(obj.frame)
+        if self.numa_mode:
+            self._fix_node_id(obj.frame)
         if covered and inode is not None:
             self.kloc_manager.add_object(inode, obj, cpu=cpu)
         if self.tracer is not None:
@@ -200,36 +246,43 @@ class Kernel:
             )
         return obj
 
-    def _route_alloc(
-        self,
-        otype: KernelObjectType,
-        tier_order: List[str],
-        knode_id: Optional[int],
-        covered: bool,
-    ) -> KernelObject:
-        if otype.allocator is AllocatorKind.SLAB:
-            if covered and self.policy.uses_kloc_interface:
-                # §4.4: redirected sites get relocatable, knode-grouped pages.
-                return self.kloc_alloc.alloc(otype, tier_order, knode_id=knode_id)
-            return self.slab.alloc(otype, tier_order, knode_id=knode_id)
-        return self.page_alloc.alloc_object(otype, tier_order, knode_id=knode_id)
+    def free_object(
+        self, obj: KernelObject, *, cpu: int = 0, now_ns: Optional[int] = None
+    ) -> Optional[int]:
+        """Free a kernel object.
 
-    def free_object(self, obj: KernelObject, *, cpu: int = 0) -> None:
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.clock.now(),
-                "free",
-                obj.otype.name,
-                lifetime_ns=obj.lifetime_ns(self.clock.now()),
-            )
+        ``now_ns`` is the deferred-advance variant used by
+        :class:`AccessBatch`: the free executes at that virtual time and
+        the allocator's (constant) CPU cost is *returned* instead of
+        advanced — the batch owns the coalesced advance. Plain calls
+        (``now_ns=None``) keep the legacy advance inside the allocator.
+        """
+        if now_ns is None:
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.clock.now(),
+                    "free",
+                    obj.otype.name,
+                    lifetime_ns=obj.lifetime_ns(self.clock.now()),
+                )
+            if self.kloc_manager is not None and obj.knode_id is not None:
+                self.kloc_manager.remove_object(obj, cpu=cpu)
+            if obj.allocator == "slab":
+                self.slab.free(obj)
+            elif obj.allocator == "kloc":
+                self.kloc_alloc.free(obj)
+            else:
+                self.page_alloc.free_object(obj)
+            return None
+        # Deferred variant: only reachable from AccessBatch, which is never
+        # handed out while a tracer is attached.
         if self.kloc_manager is not None and obj.knode_id is not None:
             self.kloc_manager.remove_object(obj, cpu=cpu)
         if obj.allocator == "slab":
-            self.slab.free(obj)
-        elif obj.allocator == "kloc":
-            self.kloc_alloc.free(obj)
-        else:
-            self.page_alloc.free_object(obj)
+            return self.slab.free(obj, now_ns=now_ns)
+        if obj.allocator == "kloc":
+            return self.kloc_alloc.free(obj, now_ns=now_ns)
+        return self.page_alloc.free_object(obj, now_ns=now_ns)
 
     # ------------------------------------------------------------------
     # KernelContext: references
@@ -243,26 +296,110 @@ class Kernel:
         write: bool = False,
         cpu: int = 0,
     ) -> int:
-        if not obj.live:
+        if not self._flat:
+            if not obj.live:
+                raise SimulationError(f"access to freed object {obj!r}")
+            frame = obj.frame
+            size = nbytes if nbytes is not None else obj.size_bytes
+            cost = self._charge_access(frame, size, write=write)
+            self.kernel_refs += 1
+            self.kernel_ref_bytes += size
+            self.refs_by_owner[frame.owner] += 1
+            if self.kloc_manager is not None and obj.knode_id is not None:
+                self.kloc_manager.note_access(obj, cpu=cpu)
+            return cost
+        # Flat path: the whole charge sequence inlined — same operations,
+        # same order, no helper-call overhead per reference.
+        if obj.freed_at is not None:
             raise SimulationError(f"access to freed object {obj!r}")
         frame = obj.frame
-        size = nbytes if nbytes is not None else obj.size_bytes
-        cost = self._charge_access(frame, size, write=write)
+        size = nbytes if nbytes is not None else obj.otype.size_bytes
+        tier_name = frame.tier_name
+        owner = frame.owner
+        tier = self._tiers[tier_name]
+        if write:
+            tier.bytes_written += size
+            cost = tier.write_latency_ns + int(size * tier.slowdown / tier.write_bw)
+        else:
+            tier.bytes_read += size
+            cost = tier.read_latency_ns + int(size * tier.slowdown / tier.read_bw)
+        self._refs_by_tier_n[tier_name][owner is not _OWNER_APP] += 1
+        cell = self._access_ns_n[owner][tier_name]
+        cell[0] += cost
+        cell[1] += 1
+        clock = self.clock
+        # frame.record_access(clock.now(), write=write), inlined:
+        frame.last_access = clock._now  # noqa: SLF001 - hot-path read
+        frame.lru_age = 0
+        journal = frame.journal
+        if journal is not None:
+            journal[frame.fid] = frame
+        if write:
+            frame.writes += 1
+            frame.dirty = True
+        else:
+            frame.reads += 1
+        # clock.advance(cost), inlined (cost >= 0 by construction):
+        clock._now = now = clock._now + cost  # noqa: SLF001
+        if now >= clock._next_deadline:  # noqa: SLF001
+            clock._fire_due()  # noqa: SLF001
         self.kernel_refs += 1
         self.kernel_ref_bytes += size
-        self.refs_by_owner[frame.owner] += 1
-        if self.kloc_manager is not None and obj.knode_id is not None:
-            self.kloc_manager.note_access(obj, cpu=cpu)
+        self.refs_by_owner[owner] += 1
+        note_access = self._note_access
+        if note_access is not None and obj.knode_id is not None:
+            note_access(obj, cpu=cpu)
         return cost
 
     def access_frame(
         self, frame: PageFrame, nbytes: int, *, write: bool = False, cpu: int = 0
     ) -> int:
-        if not frame.live:
+        if not self._flat:
+            if not frame.live:
+                raise SimulationError(f"access to freed frame {frame!r}")
+            cost = self._charge_access(frame, nbytes, write=write)
+            owner = frame.owner
+            if owner is PageOwner.APP:
+                self.app_refs += 1
+                self.app_ref_bytes += nbytes
+            else:
+                self.kernel_refs += 1
+                self.kernel_ref_bytes += nbytes
+            self.refs_by_owner[owner] += 1
+            return cost
+        if frame.freed_at is not None:
             raise SimulationError(f"access to freed frame {frame!r}")
-        cost = self._charge_access(frame, nbytes, write=write)
+        tier_name = frame.tier_name
         owner = frame.owner
-        if owner is PageOwner.APP:
+        tier = self._tiers[tier_name]
+        if write:
+            tier.bytes_written += nbytes
+            cost = tier.write_latency_ns + int(
+                nbytes * tier.slowdown / tier.write_bw
+            )
+        else:
+            tier.bytes_read += nbytes
+            cost = tier.read_latency_ns + int(nbytes * tier.slowdown / tier.read_bw)
+        self._refs_by_tier_n[tier_name][owner is not _OWNER_APP] += 1
+        cell = self._access_ns_n[owner][tier_name]
+        cell[0] += cost
+        cell[1] += 1
+        clock = self.clock
+        frame.last_access = clock._now  # noqa: SLF001 - hot-path read
+        frame.lru_age = 0
+        journal = frame.journal
+        if journal is not None:
+            journal[frame.fid] = frame
+        if write:
+            frame.writes += 1
+            frame.dirty = True
+        else:
+            frame.reads += 1
+        # clock.advance(cost), inlined (cost >= 0 by construction):
+        clock._now = now = clock._now + cost  # noqa: SLF001
+        if now >= clock._next_deadline:  # noqa: SLF001
+            clock._fire_due()  # noqa: SLF001
+        if owner is _OWNER_APP:
             self.app_refs += 1
             self.app_ref_bytes += nbytes
         else:
@@ -270,6 +407,129 @@ class Kernel:
             self.kernel_ref_bytes += nbytes
         self.refs_by_owner[owner] += 1
         return cost
+
+    def access_frames(
+        self,
+        frames: Sequence[PageFrame],
+        nbytes: int,
+        *,
+        write: bool = False,
+        cpu: int = 0,
+    ) -> int:
+        """Charge a run of frames, batching the clock advances.
+
+        Chunks ``nbytes`` across ``frames`` in order (PAGE_SIZE per frame,
+        the remainder on the last) — the shape of :meth:`Process.touch`'s
+        loop. All bookkeeping (tier byte counters, reference attribution,
+        per-frame access records with exact per-access timestamps) happens
+        per frame in the legacy order; only ``Clock.advance`` is deferred
+        and coalesced. An access is deferred only while
+        ``now + pending + cost < clock.next_deadline_ns`` — no daemon can
+        fire inside that span, so the single flush advance is
+        indistinguishable from per-frame advances. An access that would
+        cross the deadline flushes the pending time (still strictly before
+        the deadline, so nothing fires early) and is charged with a real
+        per-frame advance, which fires daemons exactly when the legacy
+        loop would. With ``REPRO_NO_HOTPATH=1`` (or in NUMA mode, whose
+        hw-cache hit/miss state makes costs order-dependent) this is a
+        plain loop over :meth:`access_frame`.
+        """
+        if not self._flat:
+            total = 0
+            remaining = nbytes
+            for frame in frames:
+                if remaining <= 0:
+                    break
+                chunk = PAGE_SIZE if remaining >= PAGE_SIZE else remaining
+                total += self.access_frame(frame, chunk, write=write, cpu=cpu)
+                remaining -= chunk
+            return total
+        clock = self.clock
+        tiers = self._tiers
+        refs_n = self._refs_by_tier_n
+        ns_n = self._access_ns_n
+        refs_by_owner = self.refs_by_owner
+        start = clock._now  # noqa: SLF001 - hot-path read
+        deadline = clock._next_deadline  # noqa: SLF001 - hot-path read
+        pending = 0
+        total = 0
+        app_refs = 0
+        app_bytes = 0
+        kern_refs = 0
+        kern_bytes = 0
+        remaining = nbytes
+        for frame in frames:
+            if remaining <= 0:
+                break
+            chunk = PAGE_SIZE if remaining >= PAGE_SIZE else remaining
+            remaining -= chunk
+            if frame.freed_at is not None:
+                raise SimulationError(f"access to freed frame {frame!r}")
+            tier_name = frame.tier_name
+            owner = frame.owner
+            tier = tiers[tier_name]
+            if write:
+                tier.bytes_written += chunk
+                cost = tier.write_latency_ns + int(
+                    chunk * tier.slowdown / tier.write_bw
+                )
+            else:
+                tier.bytes_read += chunk
+                cost = tier.read_latency_ns + int(
+                    chunk * tier.slowdown / tier.read_bw
+                )
+            refs_n[tier_name][owner is not _OWNER_APP] += 1
+            cell = ns_n[owner][tier_name]
+            cell[0] += cost
+            cell[1] += 1
+            t = start + pending
+            boundary = t + cost >= deadline
+            if boundary and pending:
+                # Flush the deferred span: lands strictly before the
+                # deadline, so nothing fires ahead of legacy order.
+                clock.advance(pending)
+                pending = 0
+            frame.last_access = t
+            frame.lru_age = 0
+            journal = frame.journal
+            if journal is not None:
+                journal[frame.fid] = frame
+            if write:
+                frame.writes += 1
+                frame.dirty = True
+            else:
+                frame.reads += 1
+            if boundary:
+                # Real advance: daemons fire exactly as in the per-frame
+                # loop; rebase the window on the post-firing clock state.
+                clock.advance(cost)
+                start = clock._now  # noqa: SLF001
+                deadline = clock._next_deadline  # noqa: SLF001
+            else:
+                pending += cost
+            total += cost
+            if owner is _OWNER_APP:
+                app_refs += 1
+                app_bytes += chunk
+            else:
+                kern_refs += 1
+                kern_bytes += chunk
+            refs_by_owner[owner] += 1
+        if pending:
+            clock.advance(pending)
+        self.app_refs += app_refs
+        self.app_ref_bytes += app_bytes
+        self.kernel_refs += kern_refs
+        self.kernel_ref_bytes += kern_bytes
+        return total
+
+    def begin_access_batch(self) -> Optional["AccessBatch"]:
+        """Open a deferred-advance charging window, or None when batching
+        is unavailable (legacy mode, NUMA hw-cache costs, or an attached
+        tracer, whose events must see exact per-event clock values)."""
+        if not self._flat or self.tracer is not None:
+            return None
+        return AccessBatch(self)
 
     def _charge_access(self, frame: PageFrame, nbytes: int, *, write: bool) -> int:
         tier_name = frame.tier_name
@@ -280,10 +540,10 @@ class Kernel:
             )
         else:
             cost = self._tiers[tier_name].access_cost_ns(nbytes, write=write)
-        refs_by_tier = self.refs_by_tier
+        refs_by_tier = self._refs_by_tier_d
         key = (tier_name, owner is not PageOwner.APP)
         refs_by_tier[key] = refs_by_tier.get(key, 0) + 1
-        access_ns_by = self.access_ns_by
+        access_ns_by = self._access_ns_d
         cost_key = (owner, tier_name)
         access_ns_by[cost_key] = access_ns_by.get(cost_key, 0) + cost
         clock = self.clock
@@ -416,6 +676,39 @@ class Kernel:
             cache.remove(page.index)
             self.free_object(page.obj, cpu=cpu)
 
+    @property
+    def refs_by_tier(self) -> Dict[tuple, int]:
+        """(tier_name, is_kernel) → reference count, for placement quality
+        diagnostics (what fraction of traffic actually hit fast memory).
+
+        Materialized from the preallocated nested counters in flat mode;
+        the legacy tuple-keyed dict otherwise. Reporting-frequency only —
+        the hot path never builds this."""
+        if not self._flat:
+            return self._refs_by_tier_d
+        out: Dict[tuple, int] = {}
+        for tier_name, counts in self._refs_by_tier_n.items():
+            if counts[0]:
+                out[(tier_name, False)] = counts[0]
+            if counts[1]:
+                out[(tier_name, True)] = counts[1]
+        return out
+
+    @property
+    def access_ns_by(self) -> Dict[tuple, int]:
+        """(owner, tier) → cumulative access ns, for time decomposition.
+
+        Keys exist for every pair that was accessed at least once (even at
+        zero cost), matching the legacy dict's key population."""
+        if not self._flat:
+            return self._access_ns_d
+        out: Dict[tuple, int] = {}
+        for owner, by_tier in self._access_ns_n.items():
+            for tier_name, cell in by_tier.items():
+                if cell[1]:
+                    out[(owner, tier_name)] = cell[0]
+        return out
+
     def reset_reference_counters(self) -> None:
         """Zero the Fig 2c attribution counters (called after a workload's
         load phase so measurements cover steady state only)."""
@@ -423,11 +716,22 @@ class Kernel:
         self.kernel_ref_bytes = 0
         self.app_refs = 0
         self.app_ref_bytes = 0
-        self.refs_by_owner = {o: 0 for o in PageOwner}
-        self.refs_by_tier = {}
+        # Zeroed in place: Process binds this dict for its inlined charge
+        # body, so the identity must survive resets (keys are always the
+        # full PageOwner population).
+        for o in self.refs_by_owner:
+            self.refs_by_owner[o] = 0
+        for counts in self._refs_by_tier_n.values():
+            counts[0] = 0
+            counts[1] = 0
+        self._refs_by_tier_d = {}
         # Time decomposition must cover the same window as the reference
         # split, or steady-state reports silently include the load phase.
-        self.access_ns_by = {}
+        for by_tier in self._access_ns_n.values():
+            for cell in by_tier.values():
+                cell[0] = 0
+                cell[1] = 0
+        self._access_ns_d = {}
 
     def fast_ref_fraction(self, fast_tier: str = "fast") -> float:
         """Fraction of references served by the fast tier — the quantity
@@ -446,3 +750,126 @@ class Kernel:
             f"Kernel(policy={self.policy.name}, now={self.clock.now_seconds():.3f}s, "
             f"{self.topology!r})"
         )
+
+
+class AccessBatch:
+    """A deferred-advance charging window over a run of object accesses.
+
+    Opened via :meth:`Kernel.begin_access_batch` by loops that issue many
+    small charges back-to-back (the page-cache read hit loop, the skb
+    copy-to-user loop). Each access/free executes all of its bookkeeping
+    immediately, at its exact legacy virtual time (``start + pending``) —
+    access records, KLOC hotness timestamps, reference attribution — but
+    the clock advance is accumulated and flushed once, which is legal
+    precisely while ``start + pending + cost < next_deadline``: no daemon
+    can fire inside that span, so per-item and coalesced advances are
+    indistinguishable. An item that would cross the deadline flushes the
+    pending span (still strictly before the deadline) and runs with a real
+    advance, firing daemons in legacy order.
+
+    Contract: callers must :meth:`sync` before doing any out-of-band clock
+    work (block I/O, allocations, readahead) and :meth:`close` when the
+    loop ends. After external work the next charge rebases automatically.
+    """
+
+    __slots__ = ("kernel", "clock", "start", "pending", "deadline")
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.clock = kernel.clock
+        self.start = self.clock._now  # noqa: SLF001 - hot-path read
+        self.pending = 0
+        self.deadline = self.clock._next_deadline  # noqa: SLF001
+
+    def access_object(
+        self,
+        obj: KernelObject,
+        nbytes: Optional[int] = None,
+        *,
+        write: bool = False,
+        cpu: int = 0,
+    ) -> int:
+        k = self.kernel
+        clock = self.clock
+        if self.pending == 0 and clock._now != self.start:  # noqa: SLF001
+            # External work advanced the clock since the last sync.
+            self.start = clock._now  # noqa: SLF001
+            self.deadline = clock._next_deadline  # noqa: SLF001
+        if obj.freed_at is not None:
+            raise SimulationError(f"access to freed object {obj!r}")
+        frame = obj.frame
+        size = nbytes if nbytes is not None else obj.otype.size_bytes
+        tier_name = frame.tier_name
+        owner = frame.owner
+        tier = k._tiers[tier_name]  # noqa: SLF001 - same-module hot path
+        if write:
+            tier.bytes_written += size
+            cost = tier.write_latency_ns + int(size * tier.slowdown / tier.write_bw)
+        else:
+            tier.bytes_read += size
+            cost = tier.read_latency_ns + int(size * tier.slowdown / tier.read_bw)
+        k._refs_by_tier_n[tier_name][owner is not _OWNER_APP] += 1  # noqa: SLF001
+        cell = k._access_ns_n[owner][tier_name]  # noqa: SLF001
+        cell[0] += cost
+        cell[1] += 1
+        t = self.start + self.pending
+        deferred = t + cost < self.deadline
+        if not deferred and self.pending:
+            clock.advance(self.pending)  # strictly before the deadline
+            self.pending = 0
+        frame.last_access = t
+        frame.lru_age = 0
+        journal = frame.journal
+        if journal is not None:
+            journal[frame.fid] = frame
+        if write:
+            frame.writes += 1
+            frame.dirty = True
+        else:
+            frame.reads += 1
+        if deferred:
+            self.pending += cost
+        else:
+            clock.advance(cost)  # may fire daemons, in legacy order
+            self.start = clock._now  # noqa: SLF001
+            self.deadline = clock._next_deadline  # noqa: SLF001
+        k.kernel_refs += 1
+        k.kernel_ref_bytes += size
+        k.refs_by_owner[owner] += 1
+        if k.kloc_manager is not None and obj.knode_id is not None:
+            if deferred:
+                # Legacy stamps hotness with the post-advance clock; inside
+                # the window that is exactly t + cost.
+                k.kloc_manager.note_access(obj, cpu=cpu, now_ns=t + cost)
+            else:
+                k.kloc_manager.note_access(obj, cpu=cpu)
+        return cost
+
+    def free_object(self, obj: KernelObject, *, cpu: int = 0) -> None:
+        clock = self.clock
+        if self.pending == 0 and clock._now != self.start:  # noqa: SLF001
+            self.start = clock._now  # noqa: SLF001
+            self.deadline = clock._next_deadline  # noqa: SLF001
+        t = self.start + self.pending
+        cost = self.kernel.free_object(obj, cpu=cpu, now_ns=t)
+        if t + cost < self.deadline:
+            self.pending += cost
+            return
+        if self.pending:
+            clock.advance(self.pending)
+            self.pending = 0
+        clock.advance(cost)  # may fire daemons, in legacy order
+        self.start = clock._now  # noqa: SLF001
+        self.deadline = clock._next_deadline  # noqa: SLF001
+
+    def sync(self) -> None:
+        """Flush deferred time; call before out-of-band clock work."""
+        if self.pending:
+            self.clock.advance(self.pending)  # strictly before the deadline
+            self.pending = 0
+        self.start = self.clock._now  # noqa: SLF001
+        self.deadline = self.clock._next_deadline  # noqa: SLF001
+
+    def close(self) -> None:
+        """Flush any deferred time at the end of the batched loop."""
+        self.sync()

@@ -21,6 +21,11 @@ class KMap:
 
     def __init__(self) -> None:
         self._tree = RedBlackTree()
+        # Host-side id → knode shadow of the rbtree. The tree remains the
+        # modeled structure (its size drives metadata accounting, its
+        # counters drive the §4.3 statistics); the dict just resolves a
+        # pointer in O(1) for paths that model a direct pointer chase.
+        self._by_id: dict = {}
         self.rcu = RCUDomain("kmap")
         self.rbtree_accesses = 0
 
@@ -32,13 +37,15 @@ class KMap:
 
     def add(self, knode: Knode) -> None:
         """Table 2's add_to_kmap()."""
-        if knode.knode_id in self._tree:
+        if knode.knode_id in self._by_id:
             raise SimulationError(f"knode {knode.knode_id} already in kmap")
         self.rcu.write()
         self._tree.insert(knode.knode_id, knode)
+        self._by_id[knode.knode_id] = knode
 
     def remove(self, knode_id: int) -> bool:
         self.rcu.write()
+        self._by_id.pop(knode_id, None)
         return self._tree.delete(knode_id)
 
     def lookup(self, knode_id: int) -> Optional[Knode]:
@@ -46,6 +53,17 @@ class KMap:
         self.rcu.read()
         self.rbtree_accesses += 1
         return self._tree.get(knode_id)
+
+    def get_uncounted(self, knode_id: int) -> Optional[Knode]:
+        """Resolve a knode without rbtree accounting.
+
+        Models a direct pointer chase — a per-CPU list hit already holds
+        the knode pointer (§4.3), so neither the RCU read counter, the
+        kmap access counter, nor the tree's search statistics move. This
+        is the public API for paths that previously reached into
+        ``_tree`` directly.
+        """
+        return self._by_id.get(knode_id)
 
     def get_lru_knodes(
         self, limit: Optional[int] = None, *, cold_age: int = 0

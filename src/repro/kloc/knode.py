@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Iterator, List, Set
 
 from repro.alloc.base import KernelObject
+from repro.core.hotpath import hotpath_enabled
 from repro.core.objtypes import AllocatorKind
-from repro.ds.rbtree import RedBlackTree
+from repro.ds.rbtree import NIL, RedBlackTree
 from repro.mem.frame import PageFrame
 
 #: sizeof(struct knode) — §7.1: "64 byte KLOC structure attached to each
@@ -41,6 +42,7 @@ class Knode:
         self.created_at = created_at
         self.last_access = created_at
         self.peak_objects = 0
+        self._hot = hotpath_enabled()
 
     # ------------------------------------------------------------------
     # membership
@@ -53,11 +55,26 @@ class Knode:
 
     def add_obj(self, obj: KernelObject) -> None:
         """Table 2's knode_add_obj(): insert into the right subtree."""
-        self._tree_for(obj).insert(obj.oid, obj)
-        self.peak_objects = max(self.peak_objects, self.object_count)
+        # _tree_for, inlined — one membership change per tracked object
+        # alloc/free makes the dispatch call itself measurable.
+        if obj.otype.allocator is AllocatorKind.SLAB and obj.allocator in (
+            "slab",
+            "kloc",
+        ):
+            self.rbtree_slab.insert(obj.oid, obj)
+        else:
+            self.rbtree_cache.insert(obj.oid, obj)
+        count = len(self.rbtree_cache) + len(self.rbtree_slab)
+        if count > self.peak_objects:
+            self.peak_objects = count
 
     def remove_obj(self, obj: KernelObject) -> bool:
-        return self._tree_for(obj).delete(obj.oid)
+        if obj.otype.allocator is AllocatorKind.SLAB and obj.allocator in (
+            "slab",
+            "kloc",
+        ):
+            return self.rbtree_slab.delete(obj.oid)
+        return self.rbtree_cache.delete(obj.oid)
 
     def has_obj(self, obj: KernelObject) -> bool:
         return obj.oid in self._tree_for(obj)
@@ -104,14 +121,41 @@ class Knode:
 
     def frames(self) -> List[PageFrame]:
         """Distinct live backing frames under this knode's subtree — the
-        unit batch §4.4 migrates en masse."""
+        unit batch §4.4 migrates en masse.
+
+        Walks the two subtrees' nodes in-order with an explicit stack
+        (cache tree first, as :meth:`iter_all` does) — the daemon calls
+        this for every candidate knode per pass, and generator
+        resumptions dominated the generator-based formulations.
+        ``REPRO_NO_HOTPATH=1`` keeps the :meth:`iter_all` chain (same
+        frames, same order).
+        """
         seen: Set[int] = set()
         out: List[PageFrame] = []
-        for obj in self.iter_all():
-            frame = obj.frame
-            if frame.live and frame.fid not in seen:
-                seen.add(frame.fid)
-                out.append(frame)
+        if not self._hot:
+            for obj in self.iter_all():
+                frame = obj.frame
+                if frame.freed_at is None:
+                    fid = frame.fid
+                    if fid not in seen:
+                        seen.add(fid)
+                        out.append(frame)
+            return out
+        for tree in (self.rbtree_cache, self.rbtree_slab):
+            stack: List = []
+            node = tree.root
+            while stack or node is not NIL:
+                while node is not NIL:
+                    stack.append(node)
+                    node = node.left
+                node = stack.pop()
+                frame = node.value.frame
+                if frame.freed_at is None:
+                    fid = frame.fid
+                    if fid not in seen:
+                        seen.add(fid)
+                        out.append(frame)
+                node = node.right
         return out
 
     # ------------------------------------------------------------------

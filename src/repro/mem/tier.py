@@ -18,26 +18,45 @@ class MemoryTier:
 
     def __init__(self, spec: TierSpec) -> None:
         self.spec = spec
+        # Identity fields as plain attributes: ``name`` alone is read
+        # hundreds of thousands of times per run by the frame-accounting
+        # paths, so a property forwarding to the spec is measurable.
+        self.name = spec.name
+        self.capacity_pages = spec.capacity_pages
         self.used_pages = 0
         self.peak_pages = 0
         self.total_allocs = 0
         self.total_frees = 0
         self.bytes_read = 0
         self.bytes_written = 0
-        #: Number of interfering bandwidth streams (0 = uncontended).
-        self.contention_streams = 0
+        # Cost coefficients cached off the spec so the per-access hot
+        # path does plain attribute loads instead of re-deriving them
+        # through ``self.spec`` each call. The cost *expression* stays
+        # ``latency + int(nbytes * slowdown / bw)`` — same operands, same
+        # order — so results are bit-identical to the uncached form.
+        self.read_latency_ns = spec.read_latency_ns
+        self.write_latency_ns = spec.write_latency_ns
+        self.read_bw = spec.read_bw_bytes_per_ns
+        self.write_bw = spec.write_bw_bytes_per_ns
+        self._contention_streams = 0
+        #: ``1 + contention_streams``, refreshed whenever the stream count
+        #: changes (interference experiments mutate it between phases,
+        #: never inside an access).
+        self.slowdown = 1
 
     @property
-    def name(self) -> str:
-        return self.spec.name
+    def contention_streams(self) -> int:
+        """Number of interfering bandwidth streams (0 = uncontended)."""
+        return self._contention_streams
 
-    @property
-    def capacity_pages(self) -> int:
-        return self.spec.capacity_pages
+    @contention_streams.setter
+    def contention_streams(self, value: int) -> None:
+        self._contention_streams = value
+        self.slowdown = 1 + value
 
     @property
     def free_pages(self) -> int:
-        return self.spec.capacity_pages - self.used_pages
+        return self.capacity_pages - self.used_pages
 
     def has_room(self, npages: int = 1) -> bool:
         return self.free_pages >= npages
@@ -51,9 +70,11 @@ class MemoryTier:
                 f"tier {self.name} over-committed: "
                 f"{self.used_pages} + {npages} > {self.capacity_pages}"
             )
-        self.used_pages += npages
+        used = self.used_pages + npages
+        self.used_pages = used
         self.total_allocs += npages
-        self.peak_pages = max(self.peak_pages, self.used_pages)
+        if used > self.peak_pages:
+            self.peak_pages = used
 
     def release(self, npages: int) -> None:
         if npages < 0:
@@ -71,15 +92,14 @@ class MemoryTier:
         if nbytes < 0:
             raise ValueError(f"negative access size: {nbytes}")
         if write:
-            latency = self.spec.write_latency_ns
-            bw = self.spec.write_bw_bytes_per_ns
+            latency = self.write_latency_ns
+            bw = self.write_bw
             self.bytes_written += nbytes
         else:
-            latency = self.spec.read_latency_ns
-            bw = self.spec.read_bw_bytes_per_ns
+            latency = self.read_latency_ns
+            bw = self.read_bw
             self.bytes_read += nbytes
-        slowdown = 1 + self.contention_streams
-        return latency + int(nbytes * slowdown / bw)
+        return latency + int(nbytes * self.slowdown / bw)
 
     def bulk_access_cost_ns(
         self, nbytes: int, count: int, *, write: bool = False

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.errors import AllocationError, SimulationError
 from repro.core.config import TierSpec
+from repro.core.hotpath import hotpath_enabled
 from repro.mem.frame import PageFrame, PageOwner
 from repro.mem.tier import MemoryTier
 
@@ -67,6 +68,10 @@ class MemoryTopology:
                 raise ValueError(f"duplicate tier name: {spec.name}")
             self.tiers[spec.name] = MemoryTier(spec)
         self._next_fid = 0
+        #: Hot-path flag for :meth:`allocate`'s single-page shortcut;
+        #: ``REPRO_NO_HOTPATH=1`` keeps the generic placement loop for
+        #: every allocation (same result, legacy cost).
+        self._single_fast = hotpath_enabled()
         self.frames: Dict[int, PageFrame] = {}
         #: Retired frames kept for lifetime analysis (Fig 2d).
         #: ``retired_limit=None`` keeps every freed frame (full-fidelity
@@ -117,6 +122,29 @@ class MemoryTopology:
         """
         if npages <= 0:
             raise ValueError(f"allocation must be positive: {npages}")
+        if npages == 1 and self._single_fast:
+            # Single page (the per-object common case): first tier with a
+            # free page wins — no partial-placement machinery needed.
+            tiers = self.tiers
+            for tier_name in tier_order:
+                tier = tiers.get(tier_name)
+                if tier is None:
+                    raise SimulationError(f"unknown tier: {tier_name!r}")
+                if tier.used_pages < tier.capacity_pages:
+                    return [
+                        self._make_frame(
+                            tier,
+                            owner,
+                            node_id=node_id,
+                            obj_type=obj_type,
+                            knode_id=knode_id,
+                            relocatable=relocatable,
+                            now_ns=now_ns,
+                        )
+                    ]
+            raise AllocationError(
+                f"cannot place 1 page (short 1) in tiers {list(tier_order)}"
+            )
         placed: List[PageFrame] = []
         remaining = npages
         for tier_name in tier_order:
@@ -165,7 +193,13 @@ class MemoryTopology:
         relocatable: bool,
         now_ns: int,
     ) -> PageFrame:
-        tier.reserve(1)
+        # tier.reserve(1), inlined — every caller has already checked
+        # capacity, so the over-commit guard cannot trip here.
+        used = tier.used_pages + 1
+        tier.used_pages = used
+        tier.total_allocs += 1
+        if used > tier.peak_pages:
+            tier.peak_pages = used
         fid = self._next_fid
         self._next_fid += 1
         frame = PageFrame(
@@ -178,16 +212,18 @@ class MemoryTopology:
             relocatable=relocatable,
             allocated_at=now_ns,
         )
+        tname = tier.name
+        key = (tname, owner)
         self.frames[fid] = frame
-        self._tier_frames[tier.name][fid] = frame
-        self._tier_owner_frames[(tier.name, owner)][fid] = frame
+        self._tier_frames[tname][fid] = frame
+        self._tier_owner_frames[key][fid] = frame
         # Allocation counts as a touch: the brute-force scan's predicate
         # (last_access >= last_scan, with last_access = allocated_at)
         # sees a freshly allocated frame as referenced.
         frame.journal = self._referenced
         self._referenced[fid] = frame
-        self.alloc_count[(tier.name, owner)] += 1
-        self.live_count[(tier.name, owner)] += 1
+        self.alloc_count[key] += 1
+        self.live_count[key] += 1
         return frame
 
     def free(self, frame: PageFrame, *, now_ns: int, retire: bool = True) -> None:
@@ -198,14 +234,19 @@ class MemoryTopology:
         """
         if not frame.live:
             raise SimulationError(f"double free of frame {frame.fid}")
-        tier = self._tier(frame.tier_name)
-        tier.release(1)
+        tname = frame.tier_name
+        tier = self._tier(tname)
+        # tier.release(1), inlined — a live frame always holds one
+        # reservation, so the underflow guard cannot trip here.
+        tier.used_pages -= 1
+        tier.total_frees += 1
         frame.freed_at = now_ns
-        self.live_count[(tier.name, frame.owner)] -= 1
+        key = (tname, frame.owner)
+        self.live_count[key] -= 1
         fid = frame.fid
         del self.frames[fid]
-        del self._tier_frames[tier.name][fid]
-        del self._tier_owner_frames[(tier.name, frame.owner)][fid]
+        del self._tier_frames[tname][fid]
+        del self._tier_owner_frames[key][fid]
         self._referenced.pop(fid, None)
         frame.journal = None
         if retire:

@@ -117,15 +117,31 @@ class NetworkStack:
     def recv(self, socket: Socket, *, cpu: int = 0) -> int:
         """Application reads everything queued; returns bytes consumed."""
         consumed = 0
+        # The copy-to-user + free sequence per skb is pure charging work,
+        # so the whole drain can share one deferred-advance window when
+        # the kernel offers one.
+        begin = getattr(self.ctx, "begin_access_batch", None)
+        batch = begin() if begin is not None else None
+        if batch is None:
+            while True:
+                skb = socket.dequeue()
+                if skb is None:
+                    break
+                # Copy-to-user: the application reads the payload.
+                self.ctx.access_object(skb.data, skb.nbytes, cpu=cpu)
+                self.ctx.free_object(skb.header, cpu=cpu)
+                self.ctx.free_object(skb.data, cpu=cpu)
+                consumed += skb.nbytes
+            return consumed
         while True:
             skb = socket.dequeue()
             if skb is None:
                 break
-            # Copy-to-user: the application reads the payload.
-            self.ctx.access_object(skb.data, skb.nbytes, cpu=cpu)
-            self.ctx.free_object(skb.header, cpu=cpu)
-            self.ctx.free_object(skb.data, cpu=cpu)
+            batch.access_object(skb.data, skb.nbytes, cpu=cpu)
+            batch.free_object(skb.header, cpu=cpu)
+            batch.free_object(skb.data, cpu=cpu)
             consumed += skb.nbytes
+        batch.close()
         return consumed
 
     def send(self, socket: Socket, nbytes: int, *, cpu: int = 0) -> int:

@@ -48,6 +48,12 @@ TRANSIENT_TYPES = frozenset(
     }
 )
 
+#: Shared placement orders, returned by the per-allocation hooks instead
+#: of building a fresh list per call. Consumers only iterate them
+#: (``MemoryTopology.allocate``) — never mutate.
+_FAST_FIRST = ["fast", "slow"]
+_SLOW_FIRST = ["slow", "fast"]
+
 
 class KlocsNoMigrationPolicy(TieringPolicy):
     """Direct allocation by knode activity; no kernel-object migration."""
@@ -79,20 +85,20 @@ class KlocsNoMigrationPolicy(TieringPolicy):
     def tier_order_app(self, *, cpu: int = 0) -> List[str]:
         # §4.2.2: "KLOCs prioritize application pages to reduce their
         # placement in slower memory".
-        return ["fast", "slow"]
+        return _FAST_FIRST
 
     def tier_order_kernel(self, otype, inode, *, covered: bool, cpu: int = 0) -> List[str]:
         if not covered:
-            return ["fast", "slow"]
+            return _FAST_FIRST
         if inode is None or otype in TRANSIENT_TYPES:
             # Transient objects (bios, blk-mq requests, packet buffers,
             # journal records) live microseconds-to-sub-ms and are
             # referenced immediately — always hot at allocation, gone
             # before pollution is possible.
-            return ["fast", "slow"]
+            return _FAST_FIRST
         if self._knode_active(inode, cpu=cpu) and not self._kernel_share_full():
-            return ["fast", "slow"]
-        return ["slow", "fast"]
+            return _FAST_FIRST
+        return _SLOW_FIRST
 
     #: Headroom kept available for application promotions beyond the
     #: app's current fast-tier residency.
@@ -107,8 +113,6 @@ class KlocsNoMigrationPolicy(TieringPolicy):
         lendable to kernel objects, so app-light workloads (Filebench)
         still fill fast memory with kernel data.
         """
-        from repro.mem.frame import PageOwner
-
         topo = self.kernel.topology
         fast = topo.tier("fast")
         cap = fast.capacity_pages

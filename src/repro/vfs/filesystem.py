@@ -231,9 +231,18 @@ class Filesystem:
 
         first = offset // PAGE_SIZE
         last = (limit - 1) // PAGE_SIZE
+        # Cache hits are charged through a deferred-advance window (when
+        # the kernel offers one): the index-walk token and page charges of
+        # a run of hits coalesce into one Clock.advance. Misses and
+        # readahead fetches do real clock work, so the window is synced
+        # before them.
+        begin = getattr(self.ctx, "begin_access_batch", None)
+        batch = begin() if begin is not None else None
         for index in range(first, last + 1):
             page = cache.lookup(index)
             if page is None:
+                if batch is not None:
+                    batch.sync()
                 self.cache_misses += 1
                 self._extent_lookup(inode, index, cpu=cpu)
                 self.blk.submit_pages(
@@ -243,13 +252,18 @@ class Filesystem:
             else:
                 self.cache_hits += 1
                 self.cache_mgr.note_access(page)
-                self._charge_index_walk(cache, cpu=cpu)
+                self._charge_index_walk(cache, cpu=cpu, batch=batch)
             chunk = self._chunk_bytes(offset, limit - offset, index)
-            self.ctx.access_object(page.obj, chunk, cpu=cpu)
+            if batch is not None:
+                batch.access_object(page.obj, chunk, cpu=cpu)
+            else:
+                self.ctx.access_object(page.obj, chunk, cpu=cpu)
 
             if self.readahead_enabled:
-                self._readahead(handle, cache, inode, index, cpu=cpu)
+                self._readahead(handle, cache, inode, index, cpu=cpu, batch=batch)
 
+        if batch is not None:
+            batch.close()
         inode.atime = self.ctx.clock.now()
         return limit - offset
 
@@ -317,11 +331,14 @@ class Filesystem:
         self.cache_mgr.note_insert(page)
         return page
 
-    def _charge_index_walk(self, cache: PageCache, *, cpu: int) -> None:
+    def _charge_index_walk(self, cache: PageCache, *, cpu: int, batch=None) -> None:
         """One page-cache radix traversal hits the index's node objects."""
         token = cache.root_node_token()
         if token is not None and token.live:
-            self.ctx.access_object(token, 64, cpu=cpu)
+            if batch is not None:
+                batch.access_object(token, 64, cpu=cpu)
+            else:
+                self.ctx.access_object(token, 64, cpu=cpu)
 
     def _extent_lookup(self, inode: Inode, index: int, *, cpu: int) -> None:
         extent = self._extents[inode.ino].lookup(index)
@@ -345,7 +362,14 @@ class Filesystem:
             self.cache_mgr.evicted += 1
 
     def _readahead(
-        self, handle: FileHandle, cache: PageCache, inode: Inode, index: int, *, cpu: int
+        self,
+        handle: FileHandle,
+        cache: PageCache,
+        inode: Inode,
+        index: int,
+        *,
+        cpu: int,
+        batch=None,
     ) -> None:
         max_index = (inode.size_bytes - 1) // PAGE_SIZE if inode.size_bytes else -1
         to_fetch = [
@@ -355,6 +379,10 @@ class Filesystem:
         ]
         if not to_fetch:
             return
+        if batch is not None:
+            # The fetch does real clock work (bios, page fills): flush the
+            # deferred window so it starts at the legacy virtual time.
+            batch.sync()
         # One sequential bio brings the whole window in asynchronously.
         self.blk.submit_pages(
             len(to_fetch),

@@ -1,0 +1,69 @@
+"""Bit-identity of the O(1) hot-path accounting vs. the legacy paths.
+
+The hot-path work (flattened charge path, incremental KLOC metadata,
+inlined per-CPU lookups, batched region touches, single-page allocation
+shortcut) is a pure host-side optimization: every simulated cost, clock
+reading, counter, and metadata figure must be *exactly* what the layered
+legacy implementations produce. These tests run full measured experiments
+twice — hot, then with ``REPRO_NO_HOTPATH=1`` — and require the complete
+result payloads to match bit for bit.
+
+Both flags are read at kernel/structure construction time, so toggling
+the env var between runs inside one process switches implementations
+(each ``run_*`` builds a fresh kernel).
+
+cassandra is the probe workload: it mixes filesystem activity (SSTable
+reads/writes through the page cache, journal commits, writeback) with
+network traffic (client sockets), so every charge path — object refs,
+frame refs, batched touches, alloc/free churn — runs at once.
+
+CI treats a *skip* of this module as a failure (the op-bench job greps
+pytest's skip report), so keep these tests unconditional.
+"""
+
+import pytest
+
+from repro.experiments.cache import run_to_payload
+from repro.experiments.runner import run_optane_interference, run_two_tier
+
+TINY = 600
+
+
+def _payload_both_modes(monkeypatch, **kwargs):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.delenv("REPRO_NO_HOTPATH", raising=False)
+    hot = run_to_payload(run_two_tier(**kwargs))
+    monkeypatch.setenv("REPRO_NO_HOTPATH", "1")
+    legacy = run_to_payload(run_two_tier(**kwargs))
+    return hot, legacy
+
+
+class TestTwoTierEquivalence:
+    def test_klocs_mixed_workload(self, monkeypatch):
+        hot, legacy = _payload_both_modes(
+            monkeypatch, workload="cassandra", policy="klocs", ops=TINY
+        )
+        assert hot == legacy
+
+    def test_nimblepp_mixed_workload(self, monkeypatch):
+        hot, legacy = _payload_both_modes(
+            monkeypatch, workload="cassandra", policy="nimble++", ops=TINY
+        )
+        assert hot == legacy
+
+    def test_nimble_app_only_scan(self, monkeypatch):
+        hot, legacy = _payload_both_modes(
+            monkeypatch, workload="cassandra", policy="nimble", ops=TINY
+        )
+        assert hot == legacy
+
+
+class TestOptaneEquivalence:
+    @pytest.mark.parametrize("policy", ["autonuma", "all_local"])
+    def test_interference_run(self, monkeypatch, policy):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.delenv("REPRO_NO_HOTPATH", raising=False)
+        hot = run_optane_interference("cassandra", policy, TINY)
+        monkeypatch.setenv("REPRO_NO_HOTPATH", "1")
+        legacy = run_optane_interference("cassandra", policy, TINY)
+        assert hot == legacy
