@@ -17,8 +17,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.clock import Clock
 from repro.core.errors import SimulationError
-from repro.core.hotpath import hotpath_enabled
+from repro.core.hotpath import hot, hotpath_enabled
 from repro.core.objtypes import KernelObjectType
+from repro.core.sanitize import call_site
 from repro.alloc.base import ALLOC_COSTS, AllocatorStats, KernelObject
 
 from repro.mem.frame import PageFrame, PageOwner
@@ -39,6 +40,7 @@ class PageAllocator:
         self.topology = topology
         self.clock = clock
         self._hot = hotpath_enabled()
+        self._san = topology.sanitizer
         self.stats = AllocatorStats()
         self._next_oid = 0
         #: Allocations by order (log2 pages), for fragmentation reports.
@@ -87,6 +89,7 @@ class PageAllocator:
     # page-backed kernel objects (Table 1 PAGE-family types)
     # ------------------------------------------------------------------
 
+    @hot
     def alloc_object(
         self,
         otype: KernelObjectType,
@@ -129,11 +132,15 @@ class PageAllocator:
             allocated_at=now,
         )
 
+    @hot
     def free_object(self, obj: KernelObject, *, now_ns: Optional[int] = None) -> int:
         """Free one page-backed object. ``now_ns`` defers the clock work
         to the caller (batched charge windows): the free executes at that
         virtual time and the constant CPU cost is returned without
         advancing."""
+        san = self._san
+        if san is not None:
+            san.on_object_free(obj, self.family, site=call_site(2))
         if not obj.live:
             raise SimulationError(f"double free of {obj!r}")
         now = self.clock.now() if now_ns is None else now_ns
@@ -142,6 +149,8 @@ class PageAllocator:
         self.stats.frees += 1
         self.stats.pages_returned += 1
         self.stats.lifetimes.record(obj.otype, obj.lifetime_ns(now))
+        if san is not None:
+            san.poison_object(obj)
         cost = _PAGE_FREE_COST
         if now_ns is None:
             if self._hot:

@@ -21,8 +21,9 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.clock import Clock
 from repro.core.errors import SimulationError
-from repro.core.hotpath import hotpath_enabled
+from repro.core.hotpath import hot, hotpath_enabled
 from repro.core.objtypes import KernelObjectType
+from repro.core.sanitize import call_site
 from repro.core.units import PAGE_SIZE
 from repro.alloc.base import ALLOC_COSTS, AllocatorStats, KernelObject
 
@@ -72,17 +73,22 @@ class KlocAllocator:
         self.topology = topology
         self.clock = clock
         self._hot = hotpath_enabled()
+        self._san = topology.sanitizer
         self.stats = AllocatorStats()
         self._next_oid = 0
         #: Current fill page per knode — the grouping that makes en-masse
         #: page-granularity migration of a knode's objects possible.
         self._partial: Dict[Optional[int], _KlocPage] = {}
         self._page_of: Dict[int, _KlocPage] = {}
-        #: Live pages per knode, for en-masse migration lookups.
-        self._knode_pages: Dict[Optional[int], Set[_KlocPage]] = {}
+        #: Live pages per knode, for en-masse migration lookups. A dict
+        #: used as an ordered set: ``_KlocPage`` has no value hash, so a
+        #: real ``set`` would iterate in address order and leak host
+        #: addresses into the migration daemon's frame ordering.
+        self._knode_pages: Dict[Optional[int], Dict[_KlocPage, None]] = {}
         #: Object sizes, for releasing page bytes on free.
         self._size_of: Dict[int, int] = {}
 
+    @hot
     def alloc(
         self,
         otype: KernelObjectType,
@@ -106,7 +112,7 @@ class KlocAllocator:
             )
             page = _KlocPage(frame, knode_id)
             self._partial[knode_id] = page
-            self._knode_pages.setdefault(knode_id, set()).add(page)
+            self._knode_pages.setdefault(knode_id, {})[page] = None
             self.stats.pages_grabbed += 1
 
         oid = self._next_oid
@@ -135,10 +141,14 @@ class KlocAllocator:
             allocated_at=now,
         )
 
+    @hot
     def free(self, obj: KernelObject, *, now_ns: Optional[int] = None) -> int:
         """Free one object. ``now_ns`` defers the clock work to the caller
         (batched charge windows): the free executes at that virtual time
         and the constant CPU cost is returned without advancing."""
+        san = self._san
+        if san is not None:
+            san.on_object_free(obj, self.family, site=call_site(2))
         if not obj.live:
             raise SimulationError(f"double free of {obj!r}")
         page = self._page_of.pop(obj.oid, None)
@@ -157,7 +167,7 @@ class KlocAllocator:
                 del self._partial[page.knode_key]
             pages = self._knode_pages.get(page.knode_key)
             if pages is not None:
-                pages.discard(page)
+                pages.pop(page, None)
                 if not pages:
                     del self._knode_pages[page.knode_key]
             self.topology.free(page.frame, now_ns=now)
@@ -165,6 +175,8 @@ class KlocAllocator:
 
         self.stats.frees += 1
         self.stats.lifetimes.record(obj.otype, obj.lifetime_ns(now))
+        if san is not None:
+            san.poison_object(obj)
         cost = _KLOC_FREE_COST
         if now_ns is None:
             if self._hot:

@@ -18,8 +18,9 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.clock import Clock
 from repro.core.errors import SimulationError
-from repro.core.hotpath import hotpath_enabled
+from repro.core.hotpath import hot, hotpath_enabled
 from repro.core.objtypes import KernelObjectType
+from repro.core.sanitize import call_site
 from repro.core.units import PAGE_SIZE
 from repro.alloc.base import ALLOC_COSTS, AllocatorStats, KernelObject
 
@@ -71,6 +72,7 @@ class SlabAllocator:
         self.topology = topology
         self.clock = clock
         self._hot = hotpath_enabled()
+        self._san = topology.sanitizer
         self.stats = AllocatorStats()
         self._caches: Dict[KernelObjectType, _KmemCache] = {}
         self._next_oid = 0
@@ -83,6 +85,7 @@ class SlabAllocator:
             self._caches[otype] = cache
         return cache
 
+    @hot
     def alloc(
         self,
         otype: KernelObjectType,
@@ -141,6 +144,7 @@ class SlabAllocator:
             allocated_at=now,
         )
 
+    @hot
     def free(self, obj: KernelObject, *, now_ns: Optional[int] = None) -> int:
         """Release an object; empty slab pages return to the page pool.
 
@@ -149,6 +153,9 @@ class SlabAllocator:
         without advancing — used by batched charge windows. Plain calls
         advance the clock themselves, as before. Returns the cost either
         way."""
+        san = self._san
+        if san is not None:
+            san.on_object_free(obj, self.family, site=call_site(2))
         if not obj.live:
             raise SimulationError(f"double free of {obj!r}")
         page = self._page_of.pop(obj.oid, None)
@@ -169,6 +176,8 @@ class SlabAllocator:
 
         self.stats.frees += 1
         self.stats.lifetimes.record(obj.otype, obj.lifetime_ns(now))
+        if san is not None:
+            san.poison_object(obj)
         cost = _SLAB_FREE_COST
         if now_ns is None:
             if self._hot:

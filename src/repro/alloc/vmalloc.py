@@ -12,6 +12,7 @@ from typing import Dict, List, Sequence
 
 from repro.core.clock import Clock
 from repro.core.errors import SimulationError
+from repro.core.sanitize import call_site
 from repro.core.units import PAGE_SIZE, pages_for
 from repro.alloc.base import ALLOC_COSTS, AllocatorStats
 from repro.mem.frame import PageFrame, PageOwner
@@ -46,6 +47,7 @@ class VmallocAllocator:
     def __init__(self, topology: MemoryTopology, clock: Clock) -> None:
         self.topology = topology
         self.clock = clock
+        self._san = topology.sanitizer
         self.stats = AllocatorStats()
         self._next_area = 0
         self._areas: Dict[int, VmallocArea] = {}
@@ -82,6 +84,8 @@ class VmallocAllocator:
         return area
 
     def free(self, area: VmallocArea) -> None:
+        if self._san is not None:
+            self._san.on_area_free(area, site=call_site(2))
         if not area.live:
             raise SimulationError(f"double vfree of area {area.area_id}")
         if area.area_id not in self._areas:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Tuple
 
+from repro.core.hotpath import hot
 from repro.core.units import SEC
 
 
@@ -59,6 +60,7 @@ class Clock:
         """
         return self._next_deadline
 
+    @hot
     def advance(self, delta_ns: int) -> int:
         """Advance the clock by ``delta_ns`` and fire any due periodic work.
 

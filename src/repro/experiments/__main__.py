@@ -56,13 +56,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     # The engine reads these from the environment so every entry point
-    # (figure runners, run_sweep, examples) honors one mechanism.
+    # (figure runners, run_sweep, examples) honors one mechanism. This
+    # CLI prologue runs before any component is constructed, so the
+    # writes *are* construction-time configuration.
     if args.jobs is not None:
         if args.jobs < 1:
             parser.error("--jobs must be >= 1")
-        os.environ["REPRO_JOBS"] = str(args.jobs)
+        os.environ["REPRO_JOBS"] = str(args.jobs)  # simlint: ok[env-knob]
     if args.no_cache:
-        os.environ["REPRO_NO_CACHE"] = "1"
+        os.environ["REPRO_NO_CACHE"] = "1"  # simlint: ok[env-knob]
 
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)

@@ -30,7 +30,7 @@ EVAL_WORKLOADS = ("rocksdb", "redis", "filebench", "cassandra")
 SWEEP_WORKLOADS = ("rocksdb", "redis")
 
 
-def _factor() -> float:
+def _factor() -> float:  # simlint: config-site
     if os.environ.get("REPRO_QUICK"):
         return 0.25
     if os.environ.get("REPRO_FULL"):
@@ -46,5 +46,5 @@ def ops_for(workload: str) -> int:
     return max(500, int(base * _factor()))
 
 
-def seed() -> int:
+def seed() -> int:  # simlint: config-site
     return int(os.environ.get("REPRO_SEED", "42"))

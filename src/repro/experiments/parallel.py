@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 import sys
-import time
+import time  # simlint: ok[determinism] host-side wall timing for stderr logs only
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -42,7 +42,7 @@ from repro.experiments.cache import (
 from repro.experiments.runner import run_optane_interference, run_two_tier
 
 
-def default_jobs() -> int:
+def default_jobs() -> int:  # simlint: config-site
     """Worker count: ``REPRO_JOBS`` if set, else every core."""
     env = os.environ.get("REPRO_JOBS")
     if env:
@@ -86,9 +86,18 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
     raise ValueError(f"unknown spec kind {spec.kind!r}")
 
 
+def sweep_quiet() -> bool:  # simlint: config-site
+    """True when ``REPRO_SWEEP_QUIET`` suppresses per-cell log lines.
+
+    Read once per :func:`run_specs` call, not per cell: env knobs are
+    construction-time configuration, never per-iteration state."""
+    return bool(os.environ.get("REPRO_SWEEP_QUIET"))
+
+
 def _timed_execute(spec: RunSpec) -> Dict[str, Any]:
-    start = time.perf_counter()
+    start = time.perf_counter()  # simlint: ok[determinism] host-side timing
     payload = execute_spec(spec)
+    # simlint: ok[determinism] host-side timing; stripped before decode
     payload["_wall_s"] = time.perf_counter() - start
     return payload
 
@@ -103,9 +112,15 @@ def result_from_payload(payload: Dict[str, Any]) -> Any:
 
 
 def _log_cell(
-    index: int, total: int, spec: RunSpec, status: str, wall_s: float
+    index: int,
+    total: int,
+    spec: RunSpec,
+    status: str,
+    wall_s: float,
+    *,
+    quiet: bool,
 ) -> None:
-    if os.environ.get("REPRO_SWEEP_QUIET"):
+    if quiet:
         return
     timing = "" if status == "cached" else f" {wall_s:.1f}s"
     print(
@@ -131,6 +146,7 @@ def run_specs(
         jobs = default_jobs()
     if cache is None:
         cache = ResultCache()
+    quiet = sweep_quiet()
 
     total = len(specs)
     payloads: List[Optional[Dict[str, Any]]] = [None] * total
@@ -140,7 +156,7 @@ def run_specs(
         payload = cache.load(spec)
         if payload is not None:
             payloads[i] = payload
-            _log_cell(i, total, spec, "cached", 0.0)
+            _log_cell(i, total, spec, "cached", 0.0, quiet=quiet)
         else:
             pending.append(i)
 
@@ -167,17 +183,17 @@ def run_specs(
                     wall_s = payload.pop("_wall_s", 0.0)
                     payloads[i] = payload
                     cache.store(specs[i], payload)
-                    _log_cell(i, total, specs[i], "computed", wall_s)
+                    _log_cell(i, total, specs[i], "computed", wall_s, quiet=quiet)
         else:
             for i in leaders:
                 payload = _timed_execute(specs[i])
                 wall_s = payload.pop("_wall_s", 0.0)
                 payloads[i] = payload
                 cache.store(specs[i], payload)
-                _log_cell(i, total, specs[i], "computed", wall_s)
+                _log_cell(i, total, specs[i], "computed", wall_s, quiet=quiet)
 
     for i, leader in followers.items():
         payloads[i] = payloads[leader]
-        _log_cell(i, total, specs[i], "cached", 0.0)
+        _log_cell(i, total, specs[i], "cached", 0.0, quiet=quiet)
 
     return [result_from_payload(p) for p in payloads]

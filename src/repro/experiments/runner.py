@@ -106,6 +106,9 @@ def run_two_tier(
         ),
     )
     wl.teardown()
+    # REPRO_SANITIZE=1: audit the books after teardown (no-op otherwise).
+    # The payload above is already built, so the audit cannot perturb it.
+    kernel.sanitize_teardown()
     return run
 
 
@@ -145,4 +148,5 @@ def run_optane_interference(
     result = wl.run(ops - warm)
     interferer.stop()
     wl.teardown()
+    kernel.sanitize_teardown()  # no-op unless REPRO_SANITIZE=1
     return result.throughput_ops_per_sec

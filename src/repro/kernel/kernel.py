@@ -20,7 +20,7 @@ from repro.alloc.vmalloc import VmallocAllocator
 from repro.core.clock import Clock
 from repro.core.config import PlatformSpec
 from repro.core.errors import AllocationError, SimulationError
-from repro.core.hotpath import hotpath_enabled
+from repro.core.hotpath import hot, hotpath_enabled
 from repro.core.objtypes import AllocatorKind, KernelObjectType
 from repro.core.rng import DeterministicRNG
 from repro.core.units import PAGE_SIZE
@@ -72,6 +72,9 @@ class Kernel:
         # Direct name → tier map for the access hot path (skips the
         # topology's checked lookup on every charged reference).
         self._tiers = self.topology.tiers
+        #: The machine's shared sanitizer ledger (None unless
+        #: ``REPRO_SANITIZE=1`` was set when the topology was built).
+        self._san = self.topology.sanitizer
         self.engine = MigrationEngine(self.topology, self.clock, platform.migration)
         self.storage = NVMeDevice(platform.storage)
         self.thp = CompoundRegistry()
@@ -107,6 +110,7 @@ class Kernel:
                 num_cpus=platform.num_cpus,
                 registry=self.kloc_registry,
                 spec=platform.kloc,
+                sanitizer=self._san,
             )
             self.kloc_daemon = KlocMigrationDaemon(
                 self.kloc_manager,
@@ -152,7 +156,10 @@ class Kernel:
         # costs keep the legacy charge path anyway). ``refs_by_tier`` and
         # ``access_ns_by`` are exposed as properties that materialize the
         # same dicts either way.
-        self._flat = hotpath_enabled() and not self.numa_mode
+        # REPRO_SANITIZE=1 forces the legacy charge paths so every access
+        # funnels through the liveness-checked entry points — bit-identical
+        # by the hotpath equivalence guarantee, just slower.
+        self._flat = hotpath_enabled() and not self.numa_mode and self._san is None
         tier_names = [platform.fast.name, platform.slow.name]
         #: tier → [app_refs, kernel_refs]; indexed by ``owner is not APP``.
         self._refs_by_tier_n: Dict[str, List[int]] = {
@@ -288,6 +295,7 @@ class Kernel:
     # KernelContext: references
     # ------------------------------------------------------------------
 
+    @hot
     def access_object(
         self,
         obj: KernelObject,
@@ -298,6 +306,8 @@ class Kernel:
     ) -> int:
         if not self._flat:
             if not obj.live:
+                if self._san is not None:
+                    raise self._san.dead_object_error(obj)
                 raise SimulationError(f"access to freed object {obj!r}")
             frame = obj.frame
             size = nbytes if nbytes is not None else obj.size_bytes
@@ -351,11 +361,14 @@ class Kernel:
             note_access(obj, cpu=cpu)
         return cost
 
+    @hot
     def access_frame(
         self, frame: PageFrame, nbytes: int, *, write: bool = False, cpu: int = 0
     ) -> int:
         if not self._flat:
             if not frame.live:
+                if self._san is not None:
+                    raise self._san.dead_frame_error(frame)
                 raise SimulationError(f"access to freed frame {frame!r}")
             cost = self._charge_access(frame, nbytes, write=write)
             owner = frame.owner
@@ -408,6 +421,7 @@ class Kernel:
         self.refs_by_owner[owner] += 1
         return cost
 
+    @hot
     def access_frames(
         self,
         frames: Sequence[PageFrame],
@@ -531,6 +545,7 @@ class Kernel:
             return None
         return AccessBatch(self)
 
+    @hot
     def _charge_access(self, frame: PageFrame, nbytes: int, *, write: bool) -> int:
         tier_name = frame.tier_name
         owner = frame.owner
@@ -744,6 +759,64 @@ class Kernel:
         """Fig 2c: fraction of memory references that hit kernel objects."""
         total = self.kernel_refs + self.app_refs
         return self.kernel_refs / total if total else 0.0
+
+    def sanitize_teardown(self) -> Optional[Dict[str, int]]:
+        """End-of-run accounting audit (``REPRO_SANITIZE=1`` only).
+
+        Cross-checks every allocator's alloc/free balance against its live
+        structures, the tier page counters against the frame table, and
+        the KLOC metadata counters against a recomputation. Raises
+        :class:`~repro.core.errors.SanitizerError` on any leak; returns
+        the sanitizer's summary counters (None when the mode is off).
+        Read-only — charges no simulated time, so callers may audit after
+        building their payload without perturbing it.
+        """
+        san = self._san
+        if san is None:
+            return None
+        self.topology.check_invariants()
+        for tier in self.topology.tiers.values():
+            san.expect(
+                f"tier {tier.name} used_pages (allocs - frees)",
+                tier.used_pages,
+                tier.total_allocs - tier.total_frees,
+            )
+        slab = self.slab
+        san.expect(
+            "slab live objects (allocs - frees) vs oid->page table",
+            slab.stats.allocs - slab.stats.frees,
+            len(slab._page_of),  # noqa: SLF001 - ground-truth recount
+        )
+        slab_pages = 0
+        for cache in slab._caches.values():  # noqa: SLF001
+            slab_pages += len(cache.partial) + len(cache.full)
+        san.expect(
+            "slab live pages (grabbed - returned) vs cache lists",
+            slab.live_pages(),
+            slab_pages,
+        )
+        kloc = self.kloc_alloc
+        san.expect(
+            "kloc live objects (allocs - frees) vs oid->page table",
+            kloc.stats.allocs - kloc.stats.frees,
+            len(kloc._page_of),  # noqa: SLF001 - ground-truth recount
+        )
+        kloc_pages = 0
+        for pages in kloc._knode_pages.values():  # noqa: SLF001
+            kloc_pages += len(pages)
+        san.expect(
+            "kloc live pages (grabbed - returned) vs knode page groups",
+            kloc.live_pages(),
+            kloc_pages,
+        )
+        san.expect(
+            "vmalloc live areas (allocs - frees) vs area table",
+            self.vmalloc.stats.allocs - self.vmalloc.stats.frees,
+            len(self.vmalloc._areas),  # noqa: SLF001 - ground-truth recount
+        )
+        if self.kloc_manager is not None:
+            self.kloc_manager.verify_counters()
+        return san.report()
 
     def __repr__(self) -> str:
         return (

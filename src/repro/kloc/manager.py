@@ -21,7 +21,8 @@ from repro.alloc.base import KernelObject
 from repro.core.clock import Clock
 from repro.core.config import KLOCSpec
 from repro.core.errors import SimulationError
-from repro.core.hotpath import hotpath_enabled
+from repro.core.hotpath import hot, hotpath_enabled
+from repro.core.sanitize import Sanitizer
 from repro.kloc.kmap import KMap
 from repro.kloc.knode import KNODE_STRUCT_BYTES, RB_POINTER_BYTES, Knode
 from repro.kloc.percpu_cache import PerCPUKnodeCache
@@ -39,8 +40,12 @@ class KlocManager:
         num_cpus: int = 16,
         registry: Optional[KlocRegistry] = None,
         spec: Optional[KLOCSpec] = None,
+        sanitizer: Optional[Sanitizer] = None,
     ) -> None:
         self.clock = clock
+        #: The kernel's shared sanitizer (None unless REPRO_SANITIZE=1);
+        #: enables the scan-boundary counter cross-checks.
+        self.sanitizer = sanitizer
         self.spec = spec or KLOCSpec()
         self.registry = registry if registry is not None else KlocRegistry()
         self.kmap = KMap()
@@ -60,6 +65,11 @@ class KlocManager:
         #: Running count of rb-tree pointers (8B each), kept so metadata
         #: accounting is O(1) per allocation rather than a kmap walk.
         self._tracked_objects = 0
+        #: Objects whose knode was deleted while they were still members:
+        #: their late ``remove_object`` finds no knode and (deliberately)
+        #: never decrements ``_tracked_objects``. Counted here so the
+        #: sanitizer's recomputation can balance the books exactly.
+        self._orphaned_objects = 0
         self._hot = hotpath_enabled()
         #: Live reference to the registry's coverage set (mutations in the
         #: registry stay visible) — hot-path coverage test without the
@@ -124,6 +134,7 @@ class KlocManager:
             return None
         self.percpu.invalidate(knode.knode_id)
         self.kmap.remove(knode.knode_id)
+        self._orphaned_objects += knode.object_count
         self.knodes_deleted += 1
         self._note_metadata()
         if self.on_knode_deleted is not None:
@@ -135,6 +146,7 @@ class KlocManager:
     # object membership
     # ------------------------------------------------------------------
 
+    @hot
     def add_object(self, inode: Inode, obj: KernelObject, *, cpu: int = 0) -> bool:
         """Attach an object to the inode's knode (knode_add_obj()).
 
@@ -162,6 +174,7 @@ class KlocManager:
         self._note_metadata()
         return True
 
+    @hot
     def remove_object(self, obj: KernelObject, *, cpu: int = 0) -> bool:
         kid = obj.knode_id
         if kid is None:
@@ -209,6 +222,7 @@ class KlocManager:
             self._note_metadata()
         return removed
 
+    @hot
     def note_access(
         self, obj: KernelObject, *, cpu: int = 0, now_ns: Optional[int] = None
     ) -> None:
@@ -276,6 +290,7 @@ class KlocManager:
             # A found lookup may have recorded a new per-CPU entry.
             self._note_metadata()
 
+    @hot
     def knode_for_inode(self, inode: Inode, *, cpu: int = 0) -> Optional[Knode]:
         kid = inode.knode_id
         if kid is None:
@@ -324,6 +339,7 @@ class KlocManager:
             + self.percpu.metadata_bytes()
         )
 
+    @hot
     def _note_metadata(self) -> None:
         """Sample the peak after any mutation that can grow metadata.
 
@@ -347,6 +363,39 @@ class KlocManager:
             size = self.metadata_bytes()
         if size > self.peak_metadata_bytes:
             self.peak_metadata_bytes = size
+
+    def verify_counters(self) -> None:
+        """Sanitizer cross-check: every incrementally maintained counter
+        must equal a full recomputation from the live structures.
+
+        Called by the migration daemon at scan boundaries and by kernel
+        teardown when ``REPRO_SANITIZE=1``; a no-op otherwise. Read-only —
+        the recomputation touches no counters and charges no time.
+        """
+        san = self.sanitizer
+        if san is None:
+            return
+        knodes = self.kmap.all_knodes()
+        san.expect(
+            "kmap population (knodes_created - knodes_deleted)",
+            self.knodes_created - self.knodes_deleted,
+            len(knodes),
+        )
+        members = 0
+        for knode in knodes:
+            members += knode.object_count
+        san.expect(
+            "KlocManager._tracked_objects (rb-tree pointers)",
+            self._tracked_objects,
+            members + self._orphaned_objects,
+        )
+        lists = self.percpu.lists
+        recounted = 0
+        for lst in lists._lists:  # noqa: SLF001 - ground-truth recount
+            recounted += len(lst)
+        san.expect(
+            "PerCPUListSet.total_entries", lists.total_entries, recounted
+        )
 
     def __repr__(self) -> str:
         return (

@@ -184,6 +184,14 @@ class KlocMigrationDaemon:
                         moved_down += self.downgrade_knode(knode)
 
         self._last_run_ns = now_ns or self.manager.clock.now()
+        if self.manager.sanitizer is not None:
+            # Scan boundary (REPRO_SANITIZE=1): cross-check the incremental
+            # metadata counters against a full structure recomputation, and
+            # the topology's indexes against the frame table. Read-only —
+            # no clock or counter movement, so the pass's simulated
+            # behavior is unchanged.
+            self.manager.verify_counters()
+            self.topology.check_invariants()
         return {"downgraded": moved_down, "upgraded": moved_up}
 
     def migration_mix(self) -> Dict[str, float]:

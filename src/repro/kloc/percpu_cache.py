@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.hotpath import hotpath_enabled
+from repro.core.hotpath import hot, hotpath_enabled
 from repro.ds.percpu import PerCPUListSet
 from repro.kloc.kmap import KMap
 from repro.kloc.knode import Knode
@@ -31,6 +31,7 @@ class PerCPUKnodeCache:
         self.fast_hits = 0
         self.slow_lookups = 0
 
+    @hot
     def lookup(self, knode_id: int, *, cpu: int) -> Optional[Knode]:
         """Resolve a knode, fast path first.
 

@@ -85,6 +85,7 @@ class KlocRegistry:
     def redirected_sites(self) -> int:
         """How many kernel allocation call sites the current coverage
         redirects — full coverage exceeds the paper's 400."""
+        # simlint: ok[hash-order] integer sum is order-independent
         return sum(ALLOCATION_SITES[t] for t in self._covered)
 
     def __repr__(self) -> str:

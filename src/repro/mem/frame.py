@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.core.hotpath import hot
 from repro.core.units import PAGE_SIZE
 
 
@@ -126,6 +127,7 @@ class PageFrame:
     def size_bytes(self) -> int:
         return PAGE_SIZE
 
+    @hot
     def record_access(self, now_ns: int, *, write: bool) -> None:
         """Update access bookkeeping; resets the LRU age (the page is hot).
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.core.config import TierSpec
 from repro.core.errors import SimulationError
+from repro.core.hotpath import hot
 from repro.core.units import PAGE_SIZE
 
 
@@ -87,6 +88,7 @@ class MemoryTier:
         self.used_pages -= npages
         self.total_frees += npages
 
+    @hot
     def access_cost_ns(self, nbytes: int, *, write: bool = False) -> int:
         """Cost of moving ``nbytes`` to/from this device, with contention."""
         if nbytes < 0:

@@ -15,7 +15,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.errors import AllocationError, SimulationError
 from repro.core.config import TierSpec
-from repro.core.hotpath import hotpath_enabled
+from repro.core.hotpath import hot, hotpath_enabled
+from repro.core.sanitize import Sanitizer, call_site, sanitize_enabled
 from repro.mem.frame import PageFrame, PageOwner
 from repro.mem.tier import MemoryTier
 
@@ -24,7 +25,7 @@ def _by_fid(frame: PageFrame) -> int:
     return frame.fid
 
 
-def frame_index_enabled() -> bool:
+def frame_index_enabled() -> bool:  # simlint: config-site
     """Whether scanners should use the resident-frame indexes.
 
     ``REPRO_NO_FRAME_INDEX=1`` forces the brute-force global frame walk —
@@ -72,6 +73,13 @@ class MemoryTopology:
         #: ``REPRO_NO_HOTPATH=1`` keeps the generic placement loop for
         #: every allocation (same result, legacy cost).
         self._single_fast = hotpath_enabled()
+        #: The shared free-site ledger when ``REPRO_SANITIZE=1``; every
+        #: allocator picks this up from the topology it is built on, and
+        #: the kernel threads it into the KLOC manager — one coherent
+        #: ledger per simulated machine. None when the mode is off.
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer() if sanitize_enabled() else None
+        )
         self.frames: Dict[int, PageFrame] = {}
         #: Retired frames kept for lifetime analysis (Fig 2d).
         #: ``retired_limit=None`` keeps every freed frame (full-fidelity
@@ -182,6 +190,7 @@ class MemoryTopology:
         except AllocationError:
             return None
 
+    @hot
     def _make_frame(
         self,
         tier: MemoryTier,
@@ -226,12 +235,16 @@ class MemoryTopology:
         self.live_count[key] += 1
         return frame
 
+    @hot
     def free(self, frame: PageFrame, *, now_ns: int, retire: bool = True) -> None:
         """Release a frame back to its tier.
 
         ``retire=True`` stores the dead frame for lifetime analysis
         (Fig 2d); internal rollbacks pass ``retire=False``.
         """
+        san = self.sanitizer
+        if san is not None:
+            san.on_frame_free(frame, site=call_site(2))
         if not frame.live:
             raise SimulationError(f"double free of frame {frame.fid}")
         tname = frame.tier_name

@@ -1,0 +1,12 @@
+"""Fixture: unbalanced incremental counters."""
+
+
+class Pool:
+    def __init__(self) -> None:
+        self.total_allocs = 0
+        self.total_frees = 0
+        self.used_pages = 0
+
+    def grab(self):
+        self.total_allocs += 1
+        self.used_pages += 1

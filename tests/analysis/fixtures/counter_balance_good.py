@@ -1,0 +1,19 @@
+"""Fixture: balanced counters with a peak watermark at the growth site."""
+
+
+class Pool:
+    def __init__(self) -> None:
+        self.total_allocs = 0
+        self.total_frees = 0
+        self.used_pages = 0
+        self.peak_pages = 0
+
+    def grab(self):
+        self.total_allocs += 1
+        self.used_pages += 1
+        if self.used_pages > self.peak_pages:
+            self.peak_pages = self.used_pages
+
+    def put(self):
+        self.total_frees += 1
+        self.used_pages -= 1

@@ -1,0 +1,14 @@
+"""Fixture: determinism violations (banned imports + banned calls)."""
+
+import os
+import random
+import time
+
+
+def jitter():
+    time.sleep(0.01)
+    return random.random()
+
+
+def token():
+    return os.urandom(8)

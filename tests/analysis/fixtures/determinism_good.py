@@ -1,0 +1,9 @@
+"""Fixture: randomness drawn through the injected deterministic RNG."""
+
+
+def draw(rng):
+    return rng.randint(0, 10)
+
+
+def stamp(clock):
+    return clock.now()

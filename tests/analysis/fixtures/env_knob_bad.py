@@ -1,0 +1,11 @@
+"""Fixture: environment knobs read mid-run (cache-poisoning bugs)."""
+
+import os
+
+
+def poll_flag():
+    return os.environ.get("REPRO_FIXTURE_FLAG")
+
+
+def getenv_midrun():
+    return os.getenv("REPRO_FIXTURE_FLAG")

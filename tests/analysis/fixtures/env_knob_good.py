@@ -1,0 +1,14 @@
+"""Fixture: environment knobs read only at sanctioned sites."""
+
+import os
+
+_AT_IMPORT = os.environ.get("REPRO_FIXTURE_FLAG")
+
+
+class Component:
+    def __init__(self) -> None:
+        self.flag = bool(os.environ.get("REPRO_FIXTURE_FLAG"))
+
+
+def fixture_knob():  # simlint: config-site
+    return os.getenv("REPRO_FIXTURE_FLAG")

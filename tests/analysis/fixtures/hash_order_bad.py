@@ -1,0 +1,25 @@
+"""Fixture: hash-order-dependent constructs feeding ordered results."""
+
+from typing import Dict, Set
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self.members: Set[int] = set()
+        self.index: Dict[str, Set[int]] = {}
+
+    def ordered(self):
+        out = []
+        for m in self.members:
+            out.append(m)
+        return out
+
+    def snapshot(self):
+        return list(self.members)
+
+    def by_key(self, key):
+        found = self.index.get(key)
+        return [x for x in found]
+
+    def ranked(self, items):
+        return sorted(items, key=id)

@@ -1,0 +1,14 @@
+"""Fixture: set consumption behind a sort — order is deterministic."""
+
+from typing import Set
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self.members: Set[int] = set()
+
+    def ordered(self):
+        return sorted(self.members)
+
+    def contains(self, m) -> bool:
+        return m in self.members

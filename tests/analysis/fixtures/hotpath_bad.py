@@ -1,0 +1,30 @@
+"""Fixture: @hot functions violating the allocation-free discipline."""
+
+
+def hot(fn):
+    return fn
+
+
+@hot
+def charge(items):
+    total = 0
+    squares = [i * i for i in items]
+    for s in squares:
+        total += mystery(s)
+    return total
+
+
+@hot
+def deferred(x):
+    return lambda: x
+
+
+@hot
+def spin(n):
+    if n:
+        return spin(n - 1)
+    return 0
+
+
+def mystery(s):
+    return s

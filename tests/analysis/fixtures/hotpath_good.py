@@ -1,0 +1,20 @@
+"""Fixture: a @hot function that keeps to the whitelist, iteratively."""
+
+
+def hot(fn):
+    return fn
+
+
+@hot
+def charge(xs):
+    total = 0
+    for x in xs:
+        total += len(x)
+    return total
+
+
+@hot
+def guard(n):
+    if n < 0:
+        raise ValueError(f"negative: {n}")
+    return n

@@ -1,0 +1,14 @@
+"""Fixture: violations silenced by ``# simlint: ok[...]`` markers."""
+
+from typing import Set
+
+MEMBERS: Set[int] = set()
+
+
+def snapshot():
+    # simlint: ok[hash-order] fixture: marker on the line above
+    return list(MEMBERS)
+
+
+def snapshot_inline():
+    return list(MEMBERS)  # simlint: ok[hash-order] fixture: inline marker
