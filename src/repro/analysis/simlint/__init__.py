@@ -21,6 +21,7 @@ from repro.analysis.simlint.rules import (
     EnvKnobRule,
     HashOrderRule,
     HotPathRule,
+    SnapshotPathRule,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "EnvKnobRule",
     "HotPathRule",
     "CounterBalanceRule",
+    "SnapshotPathRule",
 ]

@@ -1,4 +1,4 @@
-"""The five simlint rules.
+"""The six simlint rules.
 
 Each rule is a small AST pass encoding one contract the simulator's
 correctness rests on (see ``docs/ANALYSIS.md`` for the catalog with
@@ -29,6 +29,10 @@ examples and rationale):
     that moves one, up/down counters have a decrement wherever they
     have an increment, and metadata-bearing growth sites sample the
     peak in the same function.
+``snapshot-path``
+    simulator state is (de)serialized only by :mod:`repro.snapshot`,
+    the audited snapshot path; direct ``pickle``/``marshal``/``dill``
+    imports and ``copy.deepcopy`` calls anywhere else are flagged.
 """
 
 from __future__ import annotations
@@ -603,6 +607,85 @@ class CounterBalanceRule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# snapshot-path
+# ---------------------------------------------------------------------------
+
+
+class SnapshotPathRule(Rule):
+    """Ad-hoc serialization of simulator state outside ``repro.snapshot``.
+
+    Snapshots must be byte-identical across processes and sessions, so
+    every (de)serialization of live kernel state goes through the one
+    audited module. A stray ``pickle.dumps`` elsewhere silently forks the
+    contract: it won't share the recursion-limit guard, the format
+    header, or the restore-time validation, and deep copies of kernel
+    graphs (``copy.deepcopy``) split shared references that the snapshot
+    path is careful to preserve.
+    """
+
+    id = "snapshot-path"
+    description = (
+        "pickle/deepcopy/marshal only inside repro.snapshot (the blessed "
+        "serialization path)"
+    )
+
+    #: Importing these anywhere else is an ad-hoc serialization hazard.
+    BANNED_MODULES = {"pickle", "cPickle", "marshal", "dill", "shelve"}
+    #: Prefix owning the blessed path.
+    ALLOWED_PREFIX = "repro.snapshot"
+
+    def _allowed(self, src: SourceFile) -> bool:
+        name = src.module_name
+        return name == self.ALLOWED_PREFIX or name.startswith(
+            self.ALLOWED_PREFIX + "."
+        )
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        if self._allowed(src):
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self.BANNED_MODULES:
+                        yield self.violation(
+                            src,
+                            node,
+                            f"import of {alias.name!r}: serialization of "
+                            f"simulator state must go through repro.snapshot",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in self.BANNED_MODULES:
+                    yield self.violation(
+                        src,
+                        node,
+                        f"import from {node.module!r}: serialization of "
+                        f"simulator state must go through repro.snapshot",
+                    )
+                elif root == "copy" and any(
+                    alias.name == "deepcopy" for alias in node.names
+                ):
+                    yield self.violation(
+                        src,
+                        node,
+                        "import of copy.deepcopy: deep-copying kernel state "
+                        "splits shared references — snapshot via "
+                        "repro.snapshot instead",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted == "copy.deepcopy" or dotted == "deepcopy":
+                    yield self.violation(
+                        src,
+                        node,
+                        "call to deepcopy(): deep-copying kernel state "
+                        "splits shared references — snapshot via "
+                        "repro.snapshot instead",
+                    )
+
+
 #: Registry consumed by the CLI and the engine's default path.
 DEFAULT_RULES: Sequence[Rule] = (
     DeterminismRule(),
@@ -610,4 +693,5 @@ DEFAULT_RULES: Sequence[Rule] = (
     EnvKnobRule(),
     HotPathRule(),
     CounterBalanceRule(),
+    SnapshotPathRule(),
 )

@@ -17,6 +17,9 @@ Environment knobs:
 
 - ``REPRO_CACHE_DIR`` — cache directory (default ``./.repro_cache``).
 - ``REPRO_NO_CACHE=1`` — disable reads *and* writes (every run computes).
+- ``REPRO_CACHE_MAX_MB`` — byte budget for the whole cache tree (results
+  plus snapshots), enforced oldest-first on every store (see
+  :mod:`repro.snapshot.budget`).
 """
 
 from __future__ import annotations
@@ -30,6 +33,11 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.objtypes import KernelObjectType
+
+#: Canonical home is :mod:`repro.core.version` (a leaf module both this
+#: cache and the snapshot store key on); re-exported here because every
+#: existing caller imports it from this module.
+from repro.core.version import SIM_VERSION
 from repro.experiments.defaults import SCALE_FACTOR, ops_for, seed
 from repro.experiments.runner import TwoTierRun
 from repro.kloc.registry import KlocRegistry
@@ -37,22 +45,12 @@ from repro.mem.frame import PageOwner
 from repro.metrics.footprint import FootprintSnapshot
 from repro.metrics.references import ReferenceReport
 from repro.platforms.twotier import PAPER_FAST_BYTES
-from repro.workloads.base import WorkloadResult
 
-#: Simulator behavior version. Bump on ANY change that alters simulated
-#: results (cost models, policy logic, daemon scheduling, workloads);
-#: leave alone for pure refactors/performance work. Stale cache entries
-#: are ignored automatically because the tag is part of the hash key.
-#: History: "2" = reset_reference_counters now also zeroes the
-#: access-time decomposition, and migration resets per-frame hotness
-#: state (lru_age / scan_ref_streak) on tier change. The resident-frame
-#: index refactor itself is bit-identical and did NOT bump this.
-#: The O(1) hot-path accounting (incremental KLOC metadata, flattened
-#: charge path, batched clock advances in ``Kernel.access_frames``) is
-#: likewise bit-identical — including the metadata peak, which samples
-#: at every growth site in both modes, so skipping the hot path's
-#: shrink/hit-path samples loses no precision — and did NOT bump this.
-SIM_VERSION = "2"
+#: Shared with the snapshot store so both keys agree on what "same
+#: registry coverage" means.
+from repro.snapshot.budget import enforce_size_limit
+from repro.snapshot.store import registry_names
+from repro.workloads.base import WorkloadResult
 
 
 @dataclasses.dataclass(frozen=True)
@@ -109,13 +107,6 @@ class RunSpec:
         return KlocRegistry(
             covered=[KernelObjectType[name] for name in self.registry]
         )
-
-
-def registry_names(registry: Optional[KlocRegistry]) -> Optional[Tuple[str, ...]]:
-    """Canonical spec encoding of a registry: sorted covered-type names."""
-    if registry is None:
-        return None
-    return tuple(sorted(t.name for t in registry.covered_types()))
 
 
 def two_tier_spec(
@@ -295,6 +286,10 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        # REPRO_CACHE_MAX_MB: bound the whole cache tree (result entries
+        # plus the snapshots/ subdirectory), oldest first. No-op unless
+        # the knob is set.
+        enforce_size_limit(self.root)
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

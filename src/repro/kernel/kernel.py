@@ -124,9 +124,7 @@ class Kernel:
             )
             self.kloc_manager.on_knode_inactive = policy.on_knode_inactive
             self.kloc_manager.on_knode_active = policy.on_knode_active
-            self.kloc_manager.on_knode_deleted = (
-                lambda knode: self.kloc_daemon.unmark(knode.knode_id)
-            )
+            self.kloc_manager.on_knode_deleted = self._on_knode_deleted
         #: Live reference to the registry's coverage set when KLOC
         #: tracking is on — the alloc path's ``covered`` test is a plain
         #: membership check instead of two attribute loads and a method
@@ -617,6 +615,14 @@ class Kernel:
     # ------------------------------------------------------------------
     # KernelContext: inode / KLOC lifecycle
     # ------------------------------------------------------------------
+
+    def _on_knode_deleted(self, knode) -> None:
+        """KlocManager deletion hook: drop the daemon's pending mark.
+
+        A named method (not a lambda) so the kernel graph stays
+        snapshot-serializable — see ``repro.snapshot``.
+        """
+        self.kloc_daemon.unmark(knode.knode_id)
 
     def on_inode_create(self, inode: Inode, *, cpu: int = 0) -> None:
         if self.kloc_manager is not None:

@@ -34,6 +34,12 @@ RX_RING_SIZE = 256
 EARLY_DEMUX_COST_NS = 150 * NS
 
 
+def _resolve_no_inode(port: int) -> Optional["Inode"]:
+    """Default resolver: no port → inode mapping (early demux finds
+    nothing). Module-level so driver state stays snapshot-serializable."""
+    return None
+
+
 class NICDriver:
     """Receive ring + packet construction."""
 
@@ -52,7 +58,7 @@ class NICDriver:
         #: §4.2.3's KLOC extension: extract the socket in the driver.
         self.early_demux = early_demux
         #: Maps a port to the owning socket's inode (for early demux).
-        self._resolve_inode = resolve_inode or (lambda port: None)
+        self._resolve_inode = resolve_inode or _resolve_no_inode
         self._ring: Deque[KernelObject] = deque()
         self.rx_packets = 0
         self.tx_packets = 0

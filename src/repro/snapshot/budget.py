@@ -1,0 +1,109 @@
+"""Size management for the on-disk caches (results + snapshots).
+
+Both the result cache (``.repro_cache/*.json``) and the snapshot store
+(``.repro_cache/snapshots/*.snap``) are content-addressed and append-only,
+so without a bound they grow forever. ``REPRO_CACHE_MAX_MB`` caps the
+total bytes under a cache root; enforcement evicts **oldest first** (by
+file modification time, tie-broken by name so eviction order is
+deterministic) until the tree fits. Evicting is always safe: a missing
+entry is a cache miss, and a missing snapshot falls back to a cold
+setup.
+
+Unset (the default) means unbounded, the historical behavior.
+``python -m repro.experiments --cache-info`` reports usage;
+``--cache-clear`` empties both stores.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: File kinds the caches own; nothing else under the root is touched.
+CACHE_SUFFIXES = (".json", ".snap")
+
+_MB = 1 << 20
+
+
+def cache_max_mb() -> Optional[int]:  # simlint: config-site
+    """The ``REPRO_CACHE_MAX_MB`` budget, or ``None`` when unbounded."""
+    raw = os.environ.get("REPRO_CACHE_MAX_MB")
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_CACHE_MAX_MB must be an integer, got {raw!r}")
+    if value < 0:
+        raise ValueError(f"REPRO_CACHE_MAX_MB must be >= 0, got {value}")
+    return value
+
+
+def cache_files(root: Path) -> List[Path]:
+    """Every cache-owned file under ``root`` (recursive)."""
+    if not root.is_dir():
+        return []
+    out = [
+        path
+        for path in root.rglob("*")
+        if path.suffix in CACHE_SUFFIXES and path.is_file()
+    ]
+    out.sort()
+    return out
+
+
+def usage(root: Path) -> Dict[str, int]:
+    """``{"files": n, "bytes": total}`` for the cache tree at ``root``."""
+    files = cache_files(root)
+    total = 0
+    for path in files:
+        try:
+            total += path.stat().st_size
+        except OSError:
+            pass
+    return {"files": len(files), "bytes": total}
+
+
+def enforce_size_limit(
+    root: Path, max_mb: Optional[int] = None
+) -> List[Path]:
+    """Evict oldest cache files under ``root`` until it fits the budget.
+
+    ``max_mb=None`` reads ``REPRO_CACHE_MAX_MB``; still-``None`` means
+    unbounded and nothing is touched. Returns the evicted paths (empty
+    when under budget). A budget smaller than the newest entry evicts
+    everything older and may leave just that entry over budget — the
+    bound is best-effort per enforcement pass, re-applied on every
+    store.
+    """
+    if max_mb is None:
+        max_mb = cache_max_mb()
+    if max_mb is None:
+        return []
+    budget = max_mb * _MB
+
+    entries: List[Tuple[float, str, int, Path]] = []
+    total = 0
+    for path in cache_files(root):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        total += stat.st_size
+    if total <= budget:
+        return []
+
+    entries.sort()  # oldest mtime first; name breaks ties deterministically
+    evicted: List[Path] = []
+    for _mtime, _name, size, path in entries:
+        if total <= budget:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        evicted.append(path)
+    return evicted

@@ -29,6 +29,32 @@ if TYPE_CHECKING:
 INODE_UPDATE_RECORDS = 1
 
 
+class _RadixNodeOps:
+    """Alloc/free callbacks for one page cache's radix-tree nodes.
+
+    A named class rather than closures so the whole filesystem graph
+    stays snapshot-serializable (``repro.snapshot`` pickles bound
+    methods by reference; it cannot pickle ``<locals>.<lambda>``).
+    The creating CPU is captured so node churn stays attributed to the
+    CPU that built the cache, exactly as the old closures did.
+    """
+
+    __slots__ = ("ctx", "inode", "cpu")
+
+    def __init__(self, ctx: "KernelContext", inode: Inode, cpu: int) -> None:
+        self.ctx = ctx
+        self.inode = inode
+        self.cpu = cpu
+
+    def alloc(self) -> object:
+        return self.ctx.alloc_object(
+            KernelObjectType.RADIX_NODE, self.inode, cpu=self.cpu
+        )
+
+    def free(self, node: object) -> None:
+        self.ctx.free_object(node, cpu=self.cpu)
+
+
 @dataclass
 class FileHandle:
     """An open file descriptor."""
@@ -94,12 +120,9 @@ class Filesystem:
         for evicted in self.dcache.insert(Dentry(path, inode, dentry_obj)):
             self.ctx.free_object(evicted.backing, cpu=cpu)
 
+        node_ops = _RadixNodeOps(self.ctx, inode, cpu)
         cache = PageCache(
-            inode.ino,
-            alloc_node=lambda: self.ctx.alloc_object(
-                KernelObjectType.RADIX_NODE, inode, cpu=cpu
-            ),
-            free_node=lambda node: self.ctx.free_object(node, cpu=cpu),
+            inode.ino, alloc_node=node_ops.alloc, free_node=node_ops.free
         )
         self.cache_mgr.register(cache)
         self._extents[inode.ino] = ExtentTree()

@@ -1,0 +1,19 @@
+"""Fixture: serialization routed through repro.snapshot's surface.
+
+Shallow ``copy.copy`` stays legal — only deep copies split the shared
+references a snapshot must preserve.
+"""
+
+import copy
+
+
+def stash(store, key, kernel, workload):
+    store.save(key, kernel, workload)
+
+
+def unstash(store, key):
+    return store.load(key)
+
+
+def shallow_view(config):
+    return copy.copy(config)

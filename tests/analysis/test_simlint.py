@@ -28,6 +28,7 @@ PAIRS = [
     ("env-knob", "env_knob_bad.py", "env_knob_good.py"),
     ("hotpath", "hotpath_bad.py", "hotpath_good.py"),
     ("counter-balance", "counter_balance_bad.py", "counter_balance_good.py"),
+    ("snapshot-path", "snapshot_path_bad.py", "snapshot_path_good.py"),
 ]
 
 
@@ -35,13 +36,14 @@ def rules_hit(path: Path):
     return {v.rule for v in lint_paths([str(path)])}
 
 
-def test_registry_covers_all_five_rules():
+def test_registry_covers_all_six_rules():
     assert RULE_IDS == [
         "determinism",
         "hash-order",
         "env-knob",
         "hotpath",
         "counter-balance",
+        "snapshot-path",
     ]
 
 
@@ -62,6 +64,15 @@ def test_every_rule_has_a_failing_fixture():
     for _, bad, _good in PAIRS:
         hit |= rules_hit(FIXTURES / bad)
     assert hit >= set(RULE_IDS)
+
+
+def test_snapshot_module_is_exempt_from_snapshot_path():
+    """repro.snapshot.state imports pickle by design — the rule must
+    recognize it as the blessed path, not flag it."""
+    violations = lint_paths(
+        [str(REPO_ROOT / "src" / "repro" / "snapshot" / "state.py")]
+    )
+    assert [v for v in violations if v.rule == "snapshot-path"] == []
 
 
 def test_violation_carries_location_and_message():

@@ -193,6 +193,9 @@ class TestJobsControl:
 
     def test_sweep_log_lists_each_cell(self, tmp_path, monkeypatch, capsys):
         monkeypatch.delenv("REPRO_SWEEP_QUIET", raising=False)
+        # Pin the snapshot store to this test's tmp dir too: a snapshot
+        # left by another test would turn "computed" into "restored".
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         cache = ResultCache(tmp_path)
         run_specs([tiny_spec()], jobs=1, cache=cache)
         run_specs([tiny_spec()], jobs=1, cache=cache)
